@@ -1,0 +1,334 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure (run them with `go test -bench=Figure -benchtime=1x` etc. for
+// a single full regeneration, or via cmd/paperbench for readable output),
+// plus per-method solve benchmarks and micro-benchmarks of the substrate
+// hot paths.
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/adaptive"
+	"repro/internal/agtram"
+	"repro/internal/bench"
+	"repro/internal/exhaustive"
+	"repro/internal/hierarchy"
+	"repro/internal/replication"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// benchScale keeps a full experiment regeneration inside a benchmark
+// iteration affordable; cmd/paperbench defaults to 10x this.
+const benchScale = 0.008
+
+func benchConfig() bench.Config {
+	return bench.Config{Scale: benchScale, Seed: 42, GRAGenerations: 10}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure3(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure4(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPayment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationPayment(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationValuation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationValuation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationEngine(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve measures each of the six methods on one mid-size instance
+// (the per-cell cost of Tables 1 and 2).
+func BenchmarkSolve(b *testing.B) {
+	cfg := repro.InstanceConfig{
+		Servers: 64, Objects: 400, Requests: 24000,
+		RWRatio: 0.85, CapacityPercent: 25, Seed: 42,
+	}
+	for _, m := range repro.Methods() {
+		b.Run(string(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				inst, err := repro.NewInstance(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := inst.Solve(m, &repro.Options{Seed: 42, GRAGenerations: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAGTRAMEngines compares the three mechanism engines (Ablation C's
+// cost side) on one instance.
+func BenchmarkAGTRAMEngines(b *testing.B) {
+	cfg := repro.InstanceConfig{
+		Servers: 48, Objects: 300, Requests: 18000,
+		RWRatio: 0.9, CapacityPercent: 20, Seed: 42,
+	}
+	engines := []struct {
+		name string
+		opts repro.Options
+	}{
+		{"sync", repro.Options{}},
+		{"distributed", repro.Options{Distributed: true}},
+		{"network", repro.Options{Network: true}},
+	}
+	for _, e := range engines {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				inst, err := repro.NewInstance(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := inst.Solve(repro.AGTRAM, &e.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkAllPairsShortestPaths(b *testing.B) {
+	r := stats.NewRNG(1)
+	g, err := topology.Random(300, 0.1, topology.DefaultWeights, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topology.AllPairs(g, 0)
+	}
+}
+
+func benchProblem(b *testing.B) *replication.Problem {
+	b.Helper()
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Servers: 64, Objects: 400, Requests: 24000, RWRatio: 0.9, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(2)
+	g, err := topology.Random(64, 0.3, topology.DefaultWeights, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps, err := replication.GenerateCapacities(w, 30, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := replication.NewProblem(topology.AllPairs(g, 0), w, caps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkPlaceReplica(b *testing.B) {
+	p := benchProblem(b)
+	r := stats.NewRNG(3)
+	b.ResetTimer()
+	s := p.NewSchema()
+	for i := 0; i < b.N; i++ {
+		k := int32(r.Intn(p.N))
+		m := r.Intn(p.M)
+		if s.CanPlace(k, m) != nil {
+			s = p.NewSchema() // start over when the schema saturates
+			continue
+		}
+		if _, err := s.PlaceReplica(k, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalBenefit(b *testing.B) {
+	p := benchProblem(b)
+	s := p.NewSchema()
+	r := stats.NewRNG(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LocalBenefit(r.Intn(p.M), int32(r.Intn(p.N)))
+	}
+}
+
+func BenchmarkRecomputeCost(b *testing.B) {
+	p := benchProblem(b)
+	s := p.NewSchema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RecomputeCost()
+	}
+}
+
+func BenchmarkTraceGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.GenerateTrace(repro.TraceConfig{
+			Objects: 1000, Clients: 100, Events: 50000, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension benchmarks ---
+
+func BenchmarkHierarchy(b *testing.B) {
+	for _, mode := range []hierarchy.Mode{hierarchy.Hierarchical, hierarchy.Autonomous} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := testutil.MustBuild(testutil.Small(42))
+				b.StartTimer()
+				if _, err := hierarchy.Solve(p, hierarchy.Config{Regions: 4, Mode: mode}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAdaptiveEpoch(b *testing.B) {
+	ws, err := adaptive.GenerateEpochs(workload.SyntheticConfig{
+		Servers: 32, Objects: 200, Requests: 12000, RWRatio: 0.9, Seed: 1,
+	}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(2)
+	g, err := topology.Random(32, 0.3, topology.DefaultWeights, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps, err := replication.GenerateCapacities(ws[0], 15, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := topology.AllPairs(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adaptive.Run(cost, ws, caps, adaptive.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	l, err := repro.GenerateTrace(repro.TraceConfig{
+		Objects: 400, Clients: 100, Events: 30000, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := repro.NewInstanceFromTrace(l, repro.InstanceConfig{
+		Servers: 40, CapacityPercent: 20, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := inst.Solve(repro.AGTRAM, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Replay(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveOptimum(b *testing.B) {
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Servers: 4, Objects: 6, Requests: 800, RWRatio: 0.85,
+		DemandFraction: 0.6, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(6)
+	g, err := topology.Random(4, 0.5, topology.DefaultWeights, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps, err := replication.GenerateCapacities(w, 20, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := replication.NewProblem(topology.AllPairs(g, 1), w, caps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exhaustive.Solve(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveTCPLoopback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := testutil.MustBuild(testutil.Small(7))
+		b.StartTimer()
+		if _, err := agtram.SolveTCP(p, agtram.Config{}, "127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command agtram solves one Data Replication Problem instance with a chosen
+// method and reports the outcome: OTC savings, replicas placed, runtime and
+// (for AGT-RAM) the mechanism's rounds and payments.
+//
+// Examples:
+//
+//	agtram -M 128 -N 800 -capacity 20 -rw 0.9
+//	agtram -method greedy -M 128 -N 800 -capacity 20 -rw 0.9
+//	agtram -method agt-ram -engine network -M 64 -N 400
+//	agtram -all -M 128 -N 800   # run all six methods, print a comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		m        = flag.Int("M", 128, "number of servers")
+		n        = flag.Int("N", 800, "number of objects")
+		requests = flag.Int("requests", 0, "total request volume (default 60 per object)")
+		rw       = flag.Float64("rw", 0.9, "read share of the request volume, in (0,1]")
+		capacity = flag.Float64("capacity", 25, "server capacity parameter C%")
+		topo     = flag.String("topology", "random", "topology: random|waxman|powerlaw|transitstub")
+		edgeP    = flag.Float64("p", 0.4, "edge probability for the random topology")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		method   = flag.String("method", "agt-ram", "method: agt-ram|greedy|gra|ae-star|da|ea")
+		engine   = flag.String("engine", "sync", "AGT-RAM engine: sync|distributed|network")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		all      = flag.Bool("all", false, "run all six methods and print a comparison table")
+		report   = flag.String("report", "", "write the solved placement as a JSON report to this file")
+	)
+	flag.Parse()
+
+	if *requests == 0 {
+		*requests = *n * 60
+	}
+	icfg := repro.InstanceConfig{
+		Servers:         *m,
+		Objects:         *n,
+		Requests:        *requests,
+		RWRatio:         *rw,
+		CapacityPercent: *capacity,
+		Topology:        repro.TopologyKind(*topo),
+		EdgeP:           *edgeP,
+		Seed:            *seed,
+	}
+
+	if *all {
+		runAll(icfg, *workers, *seed)
+		return
+	}
+
+	inst, err := repro.NewInstance(icfg)
+	if err != nil {
+		fatal(err)
+	}
+	opts := &repro.Options{
+		Workers:     *workers,
+		Seed:        *seed,
+		Distributed: *engine == "distributed",
+		Network:     *engine == "network",
+	}
+	res, err := inst.Solve(repro.Method(*method), opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: M=%d N=%d requests=%d R/W=%.2f C=%.0f%% topology=%s seed=%d\n",
+		*m, *n, *requests, *rw, *capacity, *topo, *seed)
+	fmt.Printf("method:   %s", bench.MethodLabel(res.Method))
+	if res.Method == repro.AGTRAM {
+		fmt.Printf(" (%s engine)", *engine)
+	}
+	fmt.Println()
+	fmt.Printf("base OTC: %d\n", res.BaseOTC)
+	fmt.Printf("OTC:      %d\n", res.OTC)
+	fmt.Printf("savings:  %.2f%%\n", res.SavingsPercent)
+	fmt.Printf("replicas: %d\n", res.Replicas)
+	fmt.Printf("runtime:  %s\n", res.Runtime.Round(time.Microsecond))
+	fmt.Printf("work:     %d operations\n", res.Work)
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.WriteReport(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report:   %s\n", *report)
+	}
+	if res.Method == repro.AGTRAM {
+		fmt.Printf("rounds:   %d\n", res.Rounds)
+		var paid int64
+		winners := 0
+		for _, p := range res.Payments {
+			if p > 0 {
+				winners++
+				paid += p
+			}
+		}
+		fmt.Printf("payments: %d units across %d winning servers\n", paid, winners)
+	}
+}
+
+func runAll(icfg repro.InstanceConfig, workers int, seed int64) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tsavings %\treplicas\truntime\twork")
+	for _, m := range repro.Methods() {
+		inst, err := repro.NewInstance(icfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := inst.Solve(m, &repro.Options{Workers: workers, Seed: seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%d\t%s\t%d\n",
+			bench.MethodLabel(m), res.SavingsPercent, res.Replicas,
+			res.Runtime.Round(time.Millisecond), res.Work)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "agtram:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command topogen generates the network topologies of the paper's
+// experimental setup and reports their structural statistics: node/edge
+// counts, degree distribution, and the all-pairs communication-cost
+// distribution c(i,j) that feeds the DRP.
+//
+// Usage:
+//
+//	topogen -kind random -n 200 -p 0.4
+//	topogen -kind powerlaw -n 3718 -m 2
+//	topogen -kind transitstub -domains 4 -transit 4 -stubs 2 -stubsize 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "random", "random|waxman|powerlaw|transitstub|ring|grid")
+		n        = flag.Int("n", 200, "node count (random/waxman/powerlaw/ring)")
+		p        = flag.Float64("p", 0.4, "edge probability (random) / alpha (waxman)")
+		beta     = flag.Float64("beta", 0.3, "waxman beta")
+		mAttach  = flag.Int("m", 2, "attachments per node (powerlaw)")
+		domains  = flag.Int("domains", 4, "transit domains (transitstub)")
+		transit  = flag.Int("transit", 4, "nodes per transit domain")
+		stubs    = flag.Int("stubs", 2, "stub domains per transit node")
+		stubsize = flag.Int("stubsize", 3, "nodes per stub domain")
+		rows     = flag.Int("rows", 10, "grid rows")
+		cols     = flag.Int("cols", 10, "grid cols")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		workers  = flag.Int("workers", 0, "APSP workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	r := stats.NewRNG(*seed)
+	var (
+		g   *topology.Graph
+		err error
+	)
+	switch *kind {
+	case "random":
+		g, err = topology.Random(*n, *p, topology.DefaultWeights, r)
+	case "waxman":
+		g, err = topology.Waxman(*n, *p, *beta, topology.DefaultWeights, r)
+	case "powerlaw":
+		g, err = topology.PowerLaw(*n, *mAttach, topology.DefaultWeights, r)
+	case "transitstub":
+		g, err = topology.TransitStub(topology.TransitStubConfig{
+			TransitDomains:  *domains,
+			TransitSize:     *transit,
+			StubsPerTransit: *stubs,
+			StubSize:        *stubsize,
+			IntraP:          0.4,
+		}, r)
+	case "ring":
+		g = topology.Ring(*n)
+	case "grid":
+		g = topology.Grid(*rows, *cols)
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("kind:      %s\n", *kind)
+	fmt.Printf("nodes:     %d\n", g.N())
+	fmt.Printf("edges:     %d\n", g.Edges())
+	fmt.Printf("connected: %v\n", g.Connected())
+
+	ds := g.DegreeSequence()
+	degs := make([]float64, len(ds))
+	for i, d := range ds {
+		degs[i] = float64(d)
+	}
+	fmt.Printf("degree:    %s\n", stats.Summarize(degs))
+
+	dist := topology.AllPairs(g, *workers)
+	var costs []float64
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			if c := dist.At(i, j); c != topology.Infinity {
+				costs = append(costs, float64(c))
+			}
+		}
+	}
+	fmt.Printf("c(i,j):    %s\n", stats.Summarize(costs))
+	fmt.Printf("diameter:  %d\n", dist.MaxFinite())
+}

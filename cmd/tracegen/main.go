@@ -1,0 +1,156 @@
+// Command tracegen generates synthetic World Cup 1998-style access traces,
+// converts between the binary and common-log text formats, and summarizes
+// trace statistics.
+//
+// Usage:
+//
+//	tracegen gen -objects 25000 -clients 500 -events 1500000 -o friday.wctr
+//	tracegen stat friday.wctr
+//	tracegen convert -format clf friday.wctr friday.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "stat":
+		cmdStat(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracegen gen [-objects N] [-clients N] [-events N] [-write-ratio F] [-zipf F] [-seed N] -o FILE
+  tracegen stat FILE
+  tracegen convert [-format clf|binary] IN OUT`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	objects := fs.Int("objects", 25000, "catalogue size")
+	clients := fs.Int("clients", 500, "distinct clients")
+	events := fs.Int("events", 1500000, "total requests")
+	writeRatio := fs.Float64("write-ratio", 0.05, "fraction of requests that are updates")
+	zipf := fs.Float64("zipf", 1.1, "popularity skew exponent")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output file (binary format)")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("gen: -o is required"))
+	}
+	l, err := trace.Generate(trace.Config{
+		Objects:    *objects,
+		Clients:    *clients,
+		Events:     *events,
+		WriteRatio: *writeRatio,
+		ZipfS:      *zipf,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := l.WriteBinary(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d events over %d objects to %s\n", len(l.Events), l.Objects, *out)
+}
+
+func cmdStat(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	l := readAny(args[0])
+	s := l.Summarize()
+	fmt.Printf("events:        %d (%d reads, %d writes; write ratio %.3f)\n",
+		s.Events, s.Reads, s.Writes, s.WriteRatio)
+	fmt.Printf("objects:       %d declared, %d touched\n", l.Objects, s.DistinctObjs)
+	fmt.Printf("clients:       %d\n", l.Clients)
+	fmt.Printf("hottest object share: %.2f%%\n", 100*s.TopObjShare)
+	fmt.Printf("object size:   mean %.1f, std %.1f data units\n", s.SizeMean, s.SizeStd)
+	fmt.Printf("client volume Gini: %.3f\n", s.ClientGini)
+}
+
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	format := fs.String("format", "clf", "output format: clf or binary")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		usage()
+	}
+	l := readAny(rest[0])
+	out, err := os.Create(rest[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer out.Close()
+	switch *format {
+	case "clf":
+		err = l.WriteCLF(out)
+	case "binary":
+		err = l.WriteBinary(out)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%s)\n", rest[1], *format)
+}
+
+// readAny loads a trace in either format, sniffing by extension first and
+// falling back to the other codec.
+func readAny(path string) *trace.Log {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".log") || strings.HasSuffix(path, ".clf") {
+		l, err := trace.ReadCLF(f)
+		if err != nil {
+			fatal(err)
+		}
+		return l
+	}
+	l, err := trace.ReadBinary(f)
+	if err == nil {
+		return l
+	}
+	// Retry as CLF.
+	if _, serr := f.Seek(0, 0); serr != nil {
+		fatal(err)
+	}
+	l, cerr := trace.ReadCLF(f)
+	if cerr != nil {
+		fatal(fmt.Errorf("not binary (%v) nor CLF (%v)", err, cerr))
+	}
+	return l
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

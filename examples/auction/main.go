@@ -1,0 +1,81 @@
+// Mechanism demo: why the paper builds AGT-RAM from six axioms instead of
+// an arbitrary auction. This example shows (1) the axiom checklist for the
+// second-price and first-price payment rules, (2) a concrete misreporting
+// experiment demonstrating that truth-telling is a dominant strategy only
+// under the second-price payment (Lemma 1 / Theorem 5), and (3) the end to
+// end effect on a replica allocation run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/mechanism"
+)
+
+func main() {
+	// 1. The six axioms (Figure 1) as a checklist per payment rule.
+	fmt.Println("The six axioms of the mechanism (Figure 1):")
+	for _, a := range mechanism.Axioms() {
+		fmt.Printf("  %d. %-18s %s\n", int(a), a.String()+":", a.Description())
+	}
+	fmt.Println()
+	fmt.Print(mechanism.Compliance(mechanism.SecondPrice))
+	fmt.Print(mechanism.Compliance(mechanism.FirstPrice))
+	fmt.Println()
+
+	// 2. Misreporting experiment. An agent truly values hosting an object
+	// at 1000; three rivals bid 400, 700 and 900. Can lying help?
+	others := []mechanism.Bid{
+		{Agent: 1, Value: 400},
+		{Agent: 2, Value: 700},
+		{Agent: 3, Value: 900},
+	}
+	trueValue := int64(1000)
+	misreports := []int64{100, 500, 901, 950, 1200, 5000}
+	fmt.Printf("agent's true valuation: %d; rivals bid 400/700/900\n", trueValue)
+	for _, rule := range []mechanism.PaymentRule{mechanism.SecondPrice, mechanism.FirstPrice} {
+		gain := mechanism.ManipulationGain(rule, trueValue, misreports, others)
+		fmt.Printf("  best misreport gain under %s: %d", rule, gain)
+		if gain == 0 {
+			fmt.Print("  (truth-telling is dominant)")
+		} else {
+			fmt.Print("  (agents profit from lying!)")
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// 3. End to end: the same instance solved under both payment rules.
+	// Allocations are identical (the algorithmic output only depends on the
+	// reports), but the first-price variant loses the truthfulness
+	// guarantee — in the wild its reports would drift away from CoR and the
+	// utilitarian objective of Axiom 4 would no longer be optimized.
+	icfg := repro.InstanceConfig{
+		Servers: 48, Objects: 300, Requests: 18000,
+		RWRatio: 0.9, CapacityPercent: 20, Seed: 3,
+	}
+	for _, firstPrice := range []bool{false, true} {
+		inst, err := repro.NewInstance(icfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := inst.Solve(repro.AGTRAM, &repro.Options{FirstPrice: firstPrice})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var paid int64
+		for _, p := range res.Payments {
+			paid += p
+		}
+		rule := "second-price"
+		if firstPrice {
+			rule = "first-price"
+		}
+		fmt.Printf("%-12s  savings %.2f%%  replicas %d  total payments %d\n",
+			rule, res.SavingsPercent, res.Replicas, paid)
+	}
+	fmt.Println("\nSame allocation, different payments: the second-price rule pays less")
+	fmt.Println("than the winners asked for and still keeps them honest.")
+}

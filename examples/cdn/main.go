@@ -1,0 +1,64 @@
+// CDN scenario: a content distribution network decides how much storage to
+// provision at its edge servers. This example sweeps the capacity parameter
+// across the paper's Figure 3 range and shows where extra storage stops
+// paying off ("replicating an object that is already extensively replicated
+// is unlikely to result in significant traffic savings"), comparing the
+// game-theoretic mechanism with the conventional methods.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	methods := []repro.Method{repro.AGTRAM, repro.Greedy, repro.DutchAuction, repro.GRA}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "capacity C%")
+	for _, m := range methods {
+		fmt.Fprintf(tw, "\t%s", m)
+	}
+	fmt.Fprintln(tw, "\treplicas (AGT-RAM)")
+
+	for _, capacity := range []float64{10, 15, 20, 25, 30, 35, 40} {
+		cfg := repro.InstanceConfig{
+			Servers:         96,
+			Objects:         600,
+			Requests:        36000,
+			RWRatio:         0.95, // CDN traffic is read-dominated
+			CapacityPercent: capacity,
+			Topology:        repro.TopologyPowerLaw, // AS-level-like edge network
+			Seed:            11,
+		}
+		fmt.Fprintf(tw, "%.0f", capacity)
+		var agtReplicas int
+		for _, m := range methods {
+			inst, err := repro.NewInstance(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := inst.Solve(m, &repro.Options{Seed: 11})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "\t%.1f%%", res.SavingsPercent)
+			if m == repro.AGTRAM {
+				agtReplicas = res.Replicas
+			}
+		}
+		fmt.Fprintf(tw, "\t%d\n", agtReplicas)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nReading the table: savings climb steeply while capacity is the")
+	fmt.Println("bottleneck, then flatten once every beneficial object is replicated —")
+	fmt.Println("the provisioning knee of Figure 3. Past the knee, extra storage buys")
+	fmt.Println("almost nothing.")
+}

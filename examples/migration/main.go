@@ -1,0 +1,72 @@
+// Migration scenario: demand drifts over time — yesterday's hot objects go
+// cold, new ones heat up. The paper frames AGT-RAM as "a protocol for
+// automatic replication and migration of objects in response to demand
+// changes"; this example runs the adaptive protocol over six drifting
+// epochs and compares it with freezing the initial placement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/adaptive"
+	"repro/internal/replication"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		servers = 64
+		objects = 400
+		epochs  = 6
+	)
+	// A fixed system: catalogue, primaries, topology and capacities never
+	// change. Only the demand drifts between epochs.
+	ws, err := adaptive.GenerateEpochs(workload.SyntheticConfig{
+		Servers: servers, Objects: objects, Requests: 24000,
+		RWRatio: 0.9, Seed: 99,
+	}, epochs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := stats.NewRNG(100)
+	g, err := topology.Random(servers, 0.3, topology.DefaultWeights, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps, err := replication.GenerateCapacities(ws[0], 15, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := topology.AllPairs(g, 0)
+
+	migrating, err := adaptive.Run(cost, ws, caps, adaptive.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frozen, err := adaptive.Run(cost, ws, caps, adaptive.Config{FreezePlacement: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "epoch\tkept\tdropped\tadded\tmigrating savings\tfrozen savings")
+	for e := 0; e < epochs; e++ {
+		a, f := migrating.Epochs[e], frozen.Epochs[e]
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f%%\t%.1f%%\n",
+			e, a.Kept, a.Dropped, a.Added, a.Savings, f.Savings)
+	}
+	fmt.Fprintf(tw, "mean\t\t\t\t%.1f%%\t%.1f%%\n", migrating.MeanSavings(), frozen.MeanSavings())
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nFrozen replicas of cold objects keep receiving every update while")
+	fmt.Println("saving no reads — they become pure liabilities. The migrating protocol")
+	fmt.Println("drops them at each epoch boundary and re-runs the sealed-bid rounds")
+	fmt.Println("for the new hot set.")
+}

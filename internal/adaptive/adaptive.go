@@ -1,0 +1,242 @@
+// Package adaptive implements the protocol view of AGT-RAM stated in the
+// paper's conclusions: "a protocol for automatic replication and migration
+// of objects in response to demand changes". The system runs in epochs; at
+// every epoch boundary the demand shifts (object popularity drifts while
+// the catalogue, primaries, topology and capacities stay fixed), and the
+// mechanism reacts with migrations:
+//
+//  1. carry the previous epoch's replicas forward,
+//  2. de-allocate replicas whose removal now *reduces* OTC (reads moved
+//     away; keeping the copy only costs update broadcasts),
+//  3. resume sealed-bid rounds for new placements until no agent benefits.
+//
+// Each epoch reports how many replicas were kept, dropped and added, and
+// the savings achieved against that epoch's primary-only baseline — so the
+// value of migrating (versus freezing the initial placement) is measurable.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/candidates"
+	"repro/internal/mechanism"
+	"repro/internal/replication"
+	"repro/internal/workload"
+)
+
+// Config tunes the adaptive run.
+type Config struct {
+	// Payment selects the mechanism's payment rule (default second-price).
+	Payment mechanism.PaymentRule
+	// MaxRoundsPerEpoch caps the addition rounds per epoch; <= 0 unbounded.
+	MaxRoundsPerEpoch int
+	// FreezePlacement disables migration: the first epoch's placement is
+	// carried forward untouched. This is the control the adaptive protocol
+	// is measured against.
+	FreezePlacement bool
+}
+
+// EpochStats reports one epoch.
+type EpochStats struct {
+	Epoch     int
+	Kept      int     // replicas carried over and retained
+	Dropped   int     // replicas de-allocated at the boundary
+	Added     int     // replicas placed by the mechanism this epoch
+	Savings   float64 // OTC savings vs this epoch's primary-only baseline
+	Cost      int64
+	BaseCost  int64
+	Migration int // Dropped + Added: the migration traffic proxy
+}
+
+// Result is the outcome of an adaptive run.
+type Result struct {
+	Epochs []EpochStats
+	// Final is the last epoch's schema.
+	Final *replication.Schema
+}
+
+// MeanSavings averages the per-epoch savings.
+func (r *Result) MeanSavings() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range r.Epochs {
+		sum += e.Savings
+	}
+	return sum / float64(len(r.Epochs))
+}
+
+// Run executes the adaptive protocol over a sequence of per-epoch
+// workloads. All workloads must describe the same system: identical M, N,
+// object sizes and primary assignments. The cost matrix and capacities are
+// shared across epochs.
+func Run(cost replication.CostFn, epochs []*workload.Workload, capacity []int64, cfg Config) (*Result, error) {
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("adaptive: no epochs")
+	}
+	base := epochs[0]
+	for e, w := range epochs[1:] {
+		if err := sameSystem(base, w); err != nil {
+			return nil, fmt.Errorf("adaptive: epoch %d: %w", e+1, err)
+		}
+	}
+
+	res := &Result{}
+	type placement struct {
+		object int32
+		server int32
+	}
+	var carried []placement
+
+	for e, w := range epochs {
+		prob, err := replication.NewProblem(cost, w, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: epoch %d: %w", e, err)
+		}
+		schema := prob.NewSchema()
+		stats := EpochStats{Epoch: e}
+
+		// 1. Carry the surviving placement forward. Capacities and sizes
+		// are epoch-invariant, so carried replicas always fit.
+		for _, pl := range carried {
+			if _, err := schema.PlaceReplica(pl.object, int(pl.server)); err != nil {
+				return nil, fmt.Errorf("adaptive: epoch %d: carrying (%d on %d): %w", e, pl.object, pl.server, err)
+			}
+		}
+		stats.Kept = len(carried)
+
+		if !cfg.FreezePlacement || e == 0 {
+			// 2. Migration out: drop replicas whose removal lowers OTC.
+			stats.Dropped = dropHarmful(schema)
+			stats.Kept -= stats.Dropped
+
+			// 3. Migration in: resume the sealed-bid mechanism.
+			added, err := resumeMechanism(schema, cfg)
+			if err != nil {
+				return nil, err
+			}
+			stats.Added = added
+		}
+
+		stats.Cost = schema.TotalCost()
+		stats.BaseCost = schema.BaseCost()
+		stats.Savings = schema.Savings()
+		stats.Migration = stats.Dropped + stats.Added
+		res.Epochs = append(res.Epochs, stats)
+		res.Final = schema
+
+		carried = carried[:0]
+		for k := 0; k < prob.N; k++ {
+			for _, srv := range schema.Replicas(int32(k)) {
+				if srv != w.Primary[k] {
+					carried = append(carried, placement{object: int32(k), server: srv})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// dropHarmful removes replicas until no single removal lowers the OTC.
+// Each sweep rescans all placed replicas; removals only make other removals
+// less attractive on the read side but can expose new ones on the write
+// side of different objects, so we iterate to a fixpoint.
+func dropHarmful(s *replication.Schema) int {
+	p := s.Problem()
+	dropped := 0
+	for {
+		improved := false
+		for k := 0; k < p.N; k++ {
+			replicas := append([]int32(nil), s.Replicas(int32(k))...)
+			for _, srv := range replicas {
+				if srv == p.Work.Primary[k] {
+					continue
+				}
+				if s.DeltaIfRemoved(int32(k), int(srv)) < 0 {
+					if _, err := s.RemoveReplica(int32(k), int(srv)); err == nil {
+						dropped++
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			return dropped
+		}
+	}
+}
+
+// resumeMechanism runs AGT-RAM rounds starting from the carried schema.
+func resumeMechanism(s *replication.Schema, cfg Config) (int, error) {
+	p := s.Problem()
+	agents := candidates.BuildAgentsFrom(s)
+	added := 0
+	for cfg.MaxRoundsPerEpoch <= 0 || added < cfg.MaxRoundsPerEpoch {
+		bids := make([]mechanism.Bid, 0, len(agents))
+		live := agents[:0]
+		for _, a := range agents {
+			obj, val, ok := a.Best()
+			if !ok {
+				continue
+			}
+			live = append(live, a)
+			bids = append(bids, mechanism.Bid{Agent: a.ID, Item: obj, Value: val})
+		}
+		agents = live
+		round, ok := mechanism.RunRound(bids, cfg.Payment)
+		if !ok {
+			return added, nil
+		}
+		win := round.Winner
+		if _, err := s.PlaceReplica(win.Item, win.Agent); err != nil {
+			return added, fmt.Errorf("adaptive: resuming mechanism: %w", err)
+		}
+		added++
+		for _, a := range agents {
+			if a.ID == win.Agent {
+				a.Won(win.Item)
+			} else {
+				a.Observe(win.Item, p.Cost.At(a.ID, win.Agent))
+			}
+		}
+	}
+	return added, nil
+}
+
+// sameSystem verifies two workloads describe the same fixed system.
+func sameSystem(a, b *workload.Workload) error {
+	if a.M != b.M || a.N != b.N {
+		return fmt.Errorf("system shape changed: %dx%d vs %dx%d", a.M, a.N, b.M, b.N)
+	}
+	for k := 0; k < a.N; k++ {
+		if a.ObjectSize[k] != b.ObjectSize[k] {
+			return fmt.Errorf("object %d changed size", k)
+		}
+		if a.Primary[k] != b.Primary[k] {
+			return fmt.Errorf("object %d changed primary", k)
+		}
+	}
+	return nil
+}
+
+// GenerateEpochs builds a demand-drift sequence: one synthetic workload per
+// epoch with a fixed catalogue (sizes, primaries) and freshly drawn demand.
+func GenerateEpochs(base workload.SyntheticConfig, epochs int) ([]*workload.Workload, error) {
+	if epochs <= 0 {
+		return nil, fmt.Errorf("adaptive: epochs must be positive, got %d", epochs)
+	}
+	out := make([]*workload.Workload, epochs)
+	for e := 0; e < epochs; e++ {
+		cfg := base
+		if e > 0 {
+			cfg.DemandSeed = base.Seed + int64(e)*1_000_003
+		}
+		w, err := workload.Synthetic(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[e] = w
+	}
+	return out, nil
+}

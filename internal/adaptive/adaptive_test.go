@@ -1,0 +1,205 @@
+package adaptive
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/replication"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func testSystem(t *testing.T, seed int64, epochs int) (replication.CostFn, []*workload.Workload, []int64) {
+	t.Helper()
+	ws, err := GenerateEpochs(workload.SyntheticConfig{
+		Servers: 16, Objects: 80, Requests: 6000, RWRatio: 0.9, Seed: seed,
+	}, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(seed + 99)
+	g, err := topology.Random(16, 0.3, topology.DefaultWeights, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := replication.GenerateCapacities(ws[0], 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topology.AllPairs(g, 0), ws, caps
+}
+
+func TestGenerateEpochsFixedCatalogue(t *testing.T) {
+	ws, err := GenerateEpochs(workload.SyntheticConfig{
+		Servers: 8, Objects: 40, Requests: 2000, RWRatio: 0.9, Seed: 1,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("got %d epochs", len(ws))
+	}
+	for e := 1; e < 4; e++ {
+		if err := sameSystem(ws[0], ws[e]); err != nil {
+			t.Fatalf("epoch %d catalogue drifted: %v", e, err)
+		}
+	}
+	// Demand must actually change between epochs.
+	same := true
+	for i := 0; i < ws[0].M && same; i++ {
+		a, b := ws[0].Demands(i), ws[1].Demands(i)
+		if len(a) != len(b) {
+			same = false
+			break
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("epoch demand did not drift")
+	}
+	if _, err := GenerateEpochs(workload.SyntheticConfig{}, 0); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestRunSingleEpochMatchesMechanism(t *testing.T) {
+	cost, ws, caps := testSystem(t, 2, 1)
+	res, err := Run(cost, ws, caps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 1 {
+		t.Fatalf("got %d epoch stats", len(res.Epochs))
+	}
+	e := res.Epochs[0]
+	if e.Kept != 0 || e.Dropped != 0 {
+		t.Fatalf("first epoch should start empty: %+v", e)
+	}
+	if e.Added <= 0 || e.Savings <= 0 {
+		t.Fatalf("first epoch placed nothing: %+v", e)
+	}
+	if err := res.Final.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMigratesUnderDrift(t *testing.T) {
+	cost, ws, caps := testSystem(t, 3, 5)
+	res, err := Run(cost, ws, caps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 5 {
+		t.Fatalf("got %d epochs", len(res.Epochs))
+	}
+	migrated := 0
+	for e := 1; e < 5; e++ {
+		st := res.Epochs[e]
+		migrated += st.Migration
+		if st.Savings <= 0 {
+			t.Fatalf("epoch %d: savings %.2f", e, st.Savings)
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("demand drift triggered no migration at all")
+	}
+	if err := res.Final.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Migrating must beat freezing the initial placement across drifting
+// epochs — the reason the paper frames AGT-RAM as a protocol.
+func TestMigrationBeatsFrozenPlacement(t *testing.T) {
+	cost, ws, caps := testSystem(t, 4, 6)
+	adaptiveRes, err := Run(cost, ws, caps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenRes, err := Run(cost, ws, caps, Config{FreezePlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptiveRes.MeanSavings() <= frozenRes.MeanSavings() {
+		t.Fatalf("adaptive %.2f%% should beat frozen %.2f%%",
+			adaptiveRes.MeanSavings(), frozenRes.MeanSavings())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, nil, nil, Config{}); err == nil {
+		t.Fatal("empty epochs accepted")
+	}
+	cost, ws, caps := testSystem(t, 5, 2)
+	// Corrupt the second epoch's catalogue.
+	ws[1].ObjectSize[0]++
+	if _, err := Run(cost, ws, caps, Config{}); err == nil {
+		t.Fatal("catalogue drift accepted")
+	}
+	ws[1].ObjectSize[0]--
+	ws[1].Primary[3] = (ws[1].Primary[3] + 1) % int32(ws[1].M)
+	if _, err := Run(cost, ws, caps, Config{}); err == nil {
+		t.Fatal("primary drift accepted")
+	}
+}
+
+func TestMaxRoundsPerEpoch(t *testing.T) {
+	cost, ws, caps := testSystem(t, 6, 2)
+	res, err := Run(cost, ws, caps, Config{MaxRoundsPerEpoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Epochs {
+		if e.Added > 3 {
+			t.Fatalf("epoch %d added %d replicas, cap 3", e.Epoch, e.Added)
+		}
+	}
+}
+
+func TestMeanSavingsEmpty(t *testing.T) {
+	if (&Result{}).MeanSavings() != 0 {
+		t.Fatal("empty result should average to 0")
+	}
+}
+
+// Property: the adaptive loop preserves schema invariants for arbitrary
+// drift seeds, and every epoch's final placement never costs more than that
+// epoch's primary-only baseline.
+func TestAdaptiveValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ws, err := GenerateEpochs(workload.SyntheticConfig{
+			Servers: 10, Objects: 40, Requests: 3000, RWRatio: 0.85, Seed: seed,
+		}, 3)
+		if err != nil {
+			return false
+		}
+		r := stats.NewRNG(seed + 1)
+		g, err := topology.Random(10, 0.4, topology.DefaultWeights, r)
+		if err != nil {
+			return false
+		}
+		caps, err := replication.GenerateCapacities(ws[0], 25, r)
+		if err != nil {
+			return false
+		}
+		res, err := Run(topology.AllPairs(g, 0), ws, caps, Config{})
+		if err != nil {
+			return false
+		}
+		for _, e := range res.Epochs {
+			if e.Cost > e.BaseCost {
+				return false
+			}
+		}
+		return res.Final.ValidateInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

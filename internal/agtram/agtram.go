@@ -1,0 +1,250 @@
+package agtram
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/mechanism"
+	"repro/internal/pool"
+	"repro/internal/replication"
+)
+
+// Valuation selects how agents price candidate replicas.
+type Valuation int
+
+const (
+	// LocalCoR is the paper's semi-distributed valuation: each agent prices
+	// objects from its own reads and the public write volume only (Eq. 5).
+	LocalCoR Valuation = iota
+	// ExactDelta is the ablation valuation: the exact global OTC change of
+	// the placement, which a real agent could not compute locally (it needs
+	// every other server's NN table). Used by the valuation ablation bench.
+	ExactDelta
+)
+
+// String names the valuation rule.
+func (v Valuation) String() string {
+	if v == ExactDelta {
+		return "exact-delta"
+	}
+	return "local-cor"
+}
+
+// Config tunes the mechanism. The zero value is the paper's configuration.
+type Config struct {
+	// Workers bounds the PARFOR fan-out; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Payment selects the payment rule (default: the paper's second-price).
+	Payment mechanism.PaymentRule
+	// Valuation selects the pricing rule (default: the paper's local CoR).
+	Valuation Valuation
+	// MaxRounds caps the number of rounds; <= 0 means unbounded.
+	MaxRounds int
+	// OnRound, when non-nil, observes every allocation as the mechanism
+	// makes it (synchronous engine only). Useful for tracing and live
+	// dashboards; must not block.
+	OnRound func(Allocation)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Allocation is one mechanism decision: in round Round, object Object was
+// replicated on server Server, which had reported Value and was paid
+// Payment.
+type Allocation struct {
+	Round   int
+	Object  int32
+	Server  int32
+	Value   int64
+	Payment int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Schema is the final replica placement (the mechanism's accounting of
+	// every binary replicate decision).
+	Schema *replication.Schema
+	// Allocations lists every placement in round order.
+	Allocations []Allocation
+	// Payments accumulates the motivational payments per server (Axiom 5).
+	Payments []int64
+	// Rounds is the number of mechanism rounds executed (== len(Allocations)).
+	Rounds int
+	// Valuations counts CoR computations across all agents: the "heavy
+	// processing" that stays on the servers.
+	Valuations int64
+}
+
+// Solve runs AGT-RAM with synchronous parallel rounds (Figure 2). Agents
+// scan their candidate lists concurrently; the central mechanism then takes
+// its single binary decision and broadcasts it.
+func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("agtram: nil problem")
+	}
+	schema := p.NewSchema()
+	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
+
+	agents := make([]*agentState, 0, p.M)
+	for i := 0; i < p.M; i++ {
+		a := newAgentState(p, i)
+		if a.active() {
+			agents = append(agents, a)
+		}
+	}
+
+	workers := pool.New(cfg.workers())
+	defer workers.Close()
+	bids := make([]mechanism.Bid, 0, len(agents))
+	bidSlots := make([]mechanism.Bid, len(agents))
+	hasBid := make([]bool, len(agents))
+
+	for cfg.MaxRounds <= 0 || res.Rounds < cfg.MaxRounds {
+		if len(agents) == 0 {
+			break
+		}
+		// PARFOR: every agent computes its dominant valuation.
+		scanAgents(agents, bidSlots, hasBid, workers, cfg.Valuation, schema, &res.Valuations)
+
+		bids = bids[:0]
+		for idx := range agents {
+			if hasBid[idx] {
+				bids = append(bids, bidSlots[idx])
+			}
+		}
+		round, ok := mechanism.RunRound(bids, cfg.Payment)
+		if !ok {
+			break
+		}
+		winner := round.Winner
+		if err := schema.CanPlace(winner.Item, winner.Agent); err != nil {
+			// Cannot happen with consistent agent state; treat as corruption.
+			return nil, fmt.Errorf("agtram: winning bid infeasible: %w", err)
+		}
+		if _, err := schema.PlaceReplica(winner.Item, winner.Agent); err != nil {
+			return nil, err
+		}
+		alloc := Allocation{
+			Round: res.Rounds, Object: winner.Item, Server: int32(winner.Agent),
+			Value: winner.Value, Payment: round.Payment,
+		}
+		res.Allocations = append(res.Allocations, alloc)
+		res.Payments[winner.Agent] += round.Payment
+		res.Rounds++
+		if cfg.OnRound != nil {
+			cfg.OnRound(alloc)
+		}
+
+		// BROADCAST OMAX: all agents refresh NN state; the winner also
+		// consumes capacity and retires the candidate.
+		live := agents[:0]
+		for _, a := range agents {
+			if a.id == winner.Agent {
+				a.won(winner.Item)
+			} else {
+				a.observe(winner.Item, p.Cost.At(a.id, winner.Agent))
+			}
+			if a.active() {
+				live = append(live, a)
+			}
+		}
+		// Compact the parallel bid buffers alongside the agent list.
+		agents = live
+	}
+	return res, nil
+}
+
+// serialScanThreshold is the candidate-count below which a round's scan
+// runs inline: dispatching goroutines for a few thousand O(1) valuations
+// costs more than the scan itself.
+const serialScanThreshold = 16384
+
+// scanAgents runs the per-agent candidate scans, fanning out over the
+// worker pool only when the round carries enough work to amortize the
+// dispatch.
+func scanAgents(agents []*agentState, bidSlots []mechanism.Bid, hasBid []bool,
+	workers *pool.Pool, val Valuation, schema *replication.Schema, valuations *int64) {
+
+	scanOne := func(idx int) int64 {
+		a := agents[idx]
+		n := int64(len(a.cands))
+		var obj int32
+		var v int64
+		var ok bool
+		if val == ExactDelta {
+			obj, v, ok = bestExact(a, schema)
+		} else {
+			obj, v, ok = a.best()
+		}
+		hasBid[idx] = ok
+		if ok {
+			bidSlots[idx] = mechanism.Bid{Agent: a.id, Item: obj, Value: v}
+		}
+		return n
+	}
+
+	var total int64
+	for _, a := range agents {
+		total += int64(len(a.cands))
+	}
+	if total < serialScanThreshold || workers.Workers() == 1 || val == ExactDelta {
+		// ExactDelta valuations are much heavier per candidate, but they
+		// read the shared schema; keep them on the pool only when large.
+		if val == ExactDelta && total > 64 && workers.Workers() > 1 {
+			var counted int64
+			workers.Batch(len(agents), func(lo, hi int) {
+				var n int64
+				for idx := lo; idx < hi; idx++ {
+					n += scanOne(idx)
+				}
+				atomic.AddInt64(&counted, n)
+			})
+			*valuations += counted
+			return
+		}
+		for idx := range agents {
+			*valuations += scanOne(idx)
+		}
+		return
+	}
+	var counted int64
+	workers.Batch(len(agents), func(lo, hi int) {
+		var n int64
+		for idx := lo; idx < hi; idx++ {
+			n += scanOne(idx)
+		}
+		atomic.AddInt64(&counted, n)
+	})
+	*valuations += counted
+}
+
+// bestExact prices the agent's candidates with the exact global OTC delta
+// (read-only against the shared schema; the round barrier orders these
+// reads before the mechanism's single writer applies the placement).
+func bestExact(a *agentState, schema *replication.Schema) (int32, int64, bool) {
+	out := a.cands[:0]
+	var bestVal int64
+	var bestObj int32
+	found := false
+	for _, c := range a.cands {
+		if c.size > a.residual {
+			continue
+		}
+		v := -schema.DeltaIfPlaced(c.object, a.id)
+		if v <= 0 {
+			continue
+		}
+		out = append(out, c)
+		if !found || v > bestVal || (v == bestVal && c.object < bestObj) {
+			bestVal, bestObj, found = v, c.object, true
+		}
+	}
+	a.cands = out
+	return bestObj, bestVal, found
+}

@@ -1,0 +1,132 @@
+package agtram
+
+import (
+	"fmt"
+
+	"repro/internal/mechanism"
+	"repro/internal/replication"
+)
+
+// Message types of the semi-distributed protocol. The entire exchange per
+// round is: M small bid messages up, one broadcast down — the "central body
+// only takes a binary decision" property of Section 1.
+
+// bidMsg is an agent's report for the current round. None=true means the
+// agent has no beneficial candidate left and (per Figure 2 line 18) leaves
+// the player set.
+type bidMsg struct {
+	Agent  int
+	Object int32
+	Value  int64
+	None   bool
+}
+
+// awardMsg is the mechanism's broadcast. Done=true terminates the protocol.
+type awardMsg struct {
+	Object  int32
+	Server  int32
+	Payment int64
+	Done    bool
+}
+
+// SolveDistributed runs AGT-RAM with one goroutine per agent and a central
+// mechanism goroutine, communicating only through channels. Agents keep
+// purely local state (their candidate lists and NN caches); the mechanism
+// keeps the schema. The allocation sequence is identical to Solve.
+func SolveDistributed(p *replication.Problem, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("agtram: nil problem")
+	}
+	if cfg.Valuation == ExactDelta {
+		return nil, fmt.Errorf("agtram: exact-delta valuation needs global state and cannot run distributed")
+	}
+
+	bidCh := make(chan bidMsg, p.M)
+	awardChs := make([]chan awardMsg, p.M)
+
+	// Agent loop: bid, await broadcast, update local state, repeat. A nil
+	// candidate list makes the agent send None once and exit.
+	agentLoop := func(a *agentState, awards <-chan awardMsg) {
+		for {
+			obj, val, ok := a.best()
+			bidCh <- bidMsg{Agent: a.id, Object: obj, Value: val, None: !ok}
+			if !ok {
+				// Out of the game; drain broadcasts until Done so the
+				// mechanism can keep using a fixed fan-out.
+				for aw := range awards {
+					if aw.Done {
+						return
+					}
+				}
+				return
+			}
+			aw := <-awards
+			if aw.Done {
+				return
+			}
+			if int(aw.Server) == a.id {
+				a.won(aw.Object)
+			} else {
+				a.observe(aw.Object, p.Cost.At(a.id, int(aw.Server)))
+			}
+		}
+	}
+
+	active := make(map[int]bool, p.M)
+	for i := 0; i < p.M; i++ {
+		a := newAgentState(p, i)
+		if !a.active() {
+			continue
+		}
+		awardChs[i] = make(chan awardMsg, 1)
+		active[i] = true
+		go agentLoop(a, awardChs[i])
+	}
+
+	schema := p.NewSchema()
+	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
+	bids := make([]mechanism.Bid, 0, len(active))
+
+	broadcast := func(aw awardMsg) {
+		for i := range active {
+			awardChs[i] <- aw
+		}
+	}
+
+	for len(active) > 0 {
+		if cfg.MaxRounds > 0 && res.Rounds >= cfg.MaxRounds {
+			break
+		}
+		bids = bids[:0]
+		expecting := len(active)
+		for n := 0; n < expecting; n++ {
+			m := <-bidCh
+			if m.None {
+				delete(active, m.Agent)
+				close(awardChs[m.Agent])
+				awardChs[m.Agent] = nil
+				continue
+			}
+			bids = append(bids, mechanism.Bid{Agent: m.Agent, Item: m.Object, Value: m.Value})
+		}
+		round, ok := mechanism.RunRound(bids, cfg.Payment)
+		if !ok {
+			break
+		}
+		winner := round.Winner
+		if _, err := schema.PlaceReplica(winner.Item, winner.Agent); err != nil {
+			broadcast(awardMsg{Done: true})
+			return nil, fmt.Errorf("agtram: winning bid infeasible: %w", err)
+		}
+		res.Allocations = append(res.Allocations, Allocation{
+			Round: res.Rounds, Object: winner.Item, Server: int32(winner.Agent),
+			Value: winner.Value, Payment: round.Payment,
+		})
+		res.Payments[winner.Agent] += round.Payment
+		res.Rounds++
+		res.Valuations += int64(len(bids)) // lower bound: one scan per live agent
+		broadcast(awardMsg{Object: winner.Item, Server: int32(winner.Agent), Payment: round.Payment})
+	}
+	broadcast(awardMsg{Done: true})
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package agtram
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+
+	"repro/internal/mechanism"
+	"repro/internal/replication"
+)
+
+// SolveNetwork runs the same semi-distributed protocol as SolveDistributed,
+// but with every agent behind a real connection (net.Pipe) speaking
+// gob-encoded messages — the shape of an actual deployment where the
+// servers and the central body are separate processes. One agent goroutine
+// per connection; the mechanism owns the other pipe ends.
+//
+// The allocation sequence is identical to Solve and SolveDistributed; the
+// engine exists to exercise (and let tests verify) the wire protocol.
+func SolveNetwork(p *replication.Problem, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("agtram: nil problem")
+	}
+	if cfg.Valuation == ExactDelta {
+		return nil, fmt.Errorf("agtram: exact-delta valuation needs global state and cannot run distributed")
+	}
+
+	type peer struct {
+		conn net.Conn
+		enc  *gob.Encoder
+		dec  *gob.Decoder
+	}
+	peers := make(map[int]*peer, p.M)
+
+	// agentConnLoop is the remote-server side: purely local state, speaks
+	// only the wire protocol.
+	agentConnLoop := func(a *agentState, conn net.Conn) {
+		defer conn.Close()
+		enc := gob.NewEncoder(conn)
+		dec := gob.NewDecoder(conn)
+		for {
+			obj, val, ok := a.best()
+			if err := enc.Encode(bidMsg{Agent: a.id, Object: obj, Value: val, None: !ok}); err != nil {
+				return
+			}
+			if !ok {
+				return // leave the game; the mechanism closes its side
+			}
+			var aw awardMsg
+			if err := dec.Decode(&aw); err != nil || aw.Done {
+				return
+			}
+			if int(aw.Server) == a.id {
+				a.won(aw.Object)
+			} else {
+				a.observe(aw.Object, p.Cost.At(a.id, int(aw.Server)))
+			}
+		}
+	}
+
+	order := make([]int, 0, p.M)
+	for i := 0; i < p.M; i++ {
+		a := newAgentState(p, i)
+		if !a.active() {
+			continue
+		}
+		mside, aside := net.Pipe()
+		peers[i] = &peer{conn: mside, enc: gob.NewEncoder(mside), dec: gob.NewDecoder(mside)}
+		order = append(order, i)
+		go agentConnLoop(a, aside)
+	}
+	defer func() {
+		for _, pe := range peers {
+			pe.conn.Close()
+		}
+	}()
+
+	schema := p.NewSchema()
+	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
+	bids := make([]mechanism.Bid, 0, len(order))
+
+	for len(order) > 0 {
+		bids = bids[:0]
+		live := order[:0]
+		for _, i := range order {
+			var m bidMsg
+			if err := peers[i].dec.Decode(&m); err != nil {
+				return nil, fmt.Errorf("agtram: reading bid from agent %d: %w", i, err)
+			}
+			if m.None {
+				peers[i].conn.Close()
+				delete(peers, i)
+				continue
+			}
+			bids = append(bids, mechanism.Bid{Agent: m.Agent, Item: m.Object, Value: m.Value})
+			live = append(live, i)
+		}
+		order = live
+		// Live agents are now blocked awaiting an award, so a graceful Done
+		// frame (below) cannot deadlock on the synchronous pipe.
+		if cfg.MaxRounds > 0 && res.Rounds >= cfg.MaxRounds {
+			break
+		}
+		round, ok := mechanism.RunRound(bids, cfg.Payment)
+		if !ok {
+			break
+		}
+		winner := round.Winner
+		if _, err := schema.PlaceReplica(winner.Item, winner.Agent); err != nil {
+			return nil, fmt.Errorf("agtram: winning bid infeasible: %w", err)
+		}
+		res.Allocations = append(res.Allocations, Allocation{
+			Round: res.Rounds, Object: winner.Item, Server: int32(winner.Agent),
+			Value: winner.Value, Payment: round.Payment,
+		})
+		res.Payments[winner.Agent] += round.Payment
+		res.Rounds++
+		res.Valuations += int64(len(bids))
+		aw := awardMsg{Object: winner.Item, Server: int32(winner.Agent), Payment: round.Payment}
+		for _, i := range order {
+			if err := peers[i].enc.Encode(aw); err != nil {
+				return nil, fmt.Errorf("agtram: broadcasting to agent %d: %w", i, err)
+			}
+		}
+	}
+	// Done frames for any agents still waiting on an award.
+	for _, i := range order {
+		_ = peers[i].enc.Encode(awardMsg{Done: true})
+	}
+	return res, nil
+}

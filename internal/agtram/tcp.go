@@ -1,0 +1,198 @@
+package agtram
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/mechanism"
+	"repro/internal/replication"
+)
+
+// helloMsg is the first frame an agent sends after dialing: it identifies
+// the server the connection speaks for.
+type helloMsg struct {
+	Agent int
+}
+
+// RunRemoteAgent speaks the agent side of the AGT-RAM wire protocol over an
+// established connection: hello, then rounds of one bid up / one award
+// down, leaving the game by sending a bid with None set. A real deployment
+// runs this in the server process; the tests and SolveTCP run it in a
+// goroutine over loopback. The function returns when the protocol ends or
+// the connection breaks.
+func RunRemoteAgent(conn net.Conn, p *replication.Problem, agentID int) error {
+	if agentID < 0 || agentID >= p.M {
+		return fmt.Errorf("agtram: agent id %d out of range [0,%d)", agentID, p.M)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(helloMsg{Agent: agentID}); err != nil {
+		return fmt.Errorf("agtram: sending hello: %w", err)
+	}
+	a := newAgentState(p, agentID)
+	for {
+		obj, val, ok := a.best()
+		if err := enc.Encode(bidMsg{Agent: agentID, Object: obj, Value: val, None: !ok}); err != nil {
+			return fmt.Errorf("agtram: sending bid: %w", err)
+		}
+		if !ok {
+			return nil
+		}
+		var aw awardMsg
+		if err := dec.Decode(&aw); err != nil {
+			return fmt.Errorf("agtram: reading award: %w", err)
+		}
+		if aw.Done {
+			return nil
+		}
+		if int(aw.Server) == agentID {
+			a.won(aw.Object)
+		} else {
+			a.observe(aw.Object, p.Cost.At(agentID, int(aw.Server)))
+		}
+	}
+}
+
+// SolveTCP runs the mechanism over real TCP sockets on the loopback
+// interface: it listens on addr (use "127.0.0.1:0" for an ephemeral port),
+// spawns one agent goroutine per active server that dials in and speaks
+// RunRemoteAgent, and runs the central mechanism over the accepted
+// connections. The allocation sequence is identical to Solve.
+//
+// This is the deployment-shaped engine: the agent side only needs the
+// public problem data and its own id, so the same protocol runs unchanged
+// with agents in separate processes or hosts.
+func SolveTCP(p *replication.Problem, cfg Config, addr string) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("agtram: nil problem")
+	}
+	if cfg.Valuation == ExactDelta {
+		return nil, fmt.Errorf("agtram: exact-delta valuation needs global state and cannot run distributed")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agtram: listen: %w", err)
+	}
+	defer ln.Close()
+
+	// Which servers participate at all.
+	var expected []int
+	for i := 0; i < p.M; i++ {
+		if newAgentState(p, i).active() {
+			expected = append(expected, i)
+		}
+	}
+
+	// Launch the agents; in a real deployment these are remote processes.
+	var agentErrs sync.Map
+	var wg sync.WaitGroup
+	for _, id := range expected {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				agentErrs.Store(id, err)
+				return
+			}
+			defer conn.Close()
+			if err := RunRemoteAgent(conn, p, id); err != nil {
+				agentErrs.Store(id, err)
+			}
+		}(id)
+	}
+	defer wg.Wait()
+
+	// Accept and identify every agent.
+	type peer struct {
+		conn net.Conn
+		enc  *gob.Encoder
+		dec  *gob.Decoder
+	}
+	peers := make(map[int]*peer, len(expected))
+	defer func() {
+		for _, pe := range peers {
+			pe.conn.Close()
+		}
+	}()
+	for range expected {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("agtram: accept: %w", err)
+		}
+		dec := gob.NewDecoder(conn)
+		var hello helloMsg
+		if err := dec.Decode(&hello); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("agtram: reading hello: %w", err)
+		}
+		if hello.Agent < 0 || hello.Agent >= p.M || peers[hello.Agent] != nil {
+			conn.Close()
+			return nil, fmt.Errorf("agtram: bad or duplicate hello from agent %d", hello.Agent)
+		}
+		peers[hello.Agent] = &peer{conn: conn, enc: gob.NewEncoder(conn), dec: dec}
+	}
+
+	schema := p.NewSchema()
+	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
+	order := append([]int(nil), expected...)
+	bids := make([]mechanism.Bid, 0, len(order))
+
+	for len(order) > 0 {
+		bids = bids[:0]
+		live := order[:0]
+		for _, i := range order {
+			var m bidMsg
+			if err := peers[i].dec.Decode(&m); err != nil {
+				return nil, fmt.Errorf("agtram: reading bid from agent %d: %w", i, err)
+			}
+			if m.None {
+				peers[i].conn.Close()
+				delete(peers, i)
+				continue
+			}
+			bids = append(bids, mechanism.Bid{Agent: m.Agent, Item: m.Object, Value: m.Value})
+			live = append(live, i)
+		}
+		order = live
+		if cfg.MaxRounds > 0 && res.Rounds >= cfg.MaxRounds {
+			break
+		}
+		round, ok := mechanism.RunRound(bids, cfg.Payment)
+		if !ok {
+			break
+		}
+		winner := round.Winner
+		if _, err := schema.PlaceReplica(winner.Item, winner.Agent); err != nil {
+			return nil, fmt.Errorf("agtram: winning bid infeasible: %w", err)
+		}
+		res.Allocations = append(res.Allocations, Allocation{
+			Round: res.Rounds, Object: winner.Item, Server: int32(winner.Agent),
+			Value: winner.Value, Payment: round.Payment,
+		})
+		res.Payments[winner.Agent] += round.Payment
+		res.Rounds++
+		res.Valuations += int64(len(bids))
+		aw := awardMsg{Object: winner.Item, Server: int32(winner.Agent), Payment: round.Payment}
+		for _, i := range order {
+			if err := peers[i].enc.Encode(aw); err != nil {
+				return nil, fmt.Errorf("agtram: broadcasting to agent %d: %w", i, err)
+			}
+		}
+	}
+	for _, i := range order {
+		_ = peers[i].enc.Encode(awardMsg{Done: true})
+	}
+
+	var firstErr error
+	agentErrs.Range(func(k, v interface{}) bool {
+		firstErr = fmt.Errorf("agtram: agent %v: %w", k, v.(error))
+		return false
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,256 @@
+// Package astar implements the Aε-Star baseline of the paper's comparison
+// (Khan and Ahmad [16]): an ε-admissible best-first branch-and-bound over
+// sequences of replica placements.
+//
+// A search node is a partial placement (a schema). Its score is
+//
+//	f(n) = g(n) + (1+ε)·h(n)
+//
+// where g is the node's exact OTC and h is an optimistic (admissible)
+// estimate of the remaining improvement: the sum of all currently positive
+// candidate benefits, each counted once (benefits only shrink, so no future
+// sequence can beat it). The ε relaxation trades optimality for node count,
+// as in the original Aε algorithm. Search is bounded by a node budget;
+// every expanded node is also completed greedily so the incumbent solution
+// improves monotonically and the method degrades gracefully into greedy
+// when the budget is tight — matching the paper's observation that Aε-Star
+// is competitive in quality but much slower.
+package astar
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/candidates"
+	"repro/internal/replication"
+)
+
+// Config tunes the search.
+type Config struct {
+	// Epsilon is the admissibility relaxation (>= 0). Default 0.2.
+	Epsilon float64
+	// Branch bounds the children expanded per node. Default 3.
+	Branch int
+	// NodeBudget bounds the number of node expansions. Default 24 — enough
+	// to explore alternatives near the root while keeping the method in the
+	// running-time band the paper reports (slower than the auctions,
+	// faster than GRA).
+	NodeBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.2
+	}
+	if c.Branch <= 0 {
+		c.Branch = 3
+	}
+	if c.NodeBudget <= 0 {
+		c.NodeBudget = 24
+	}
+	return c
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Schema *replication.Schema
+	Placed int
+	// Expanded counts node expansions, the dominant cost term.
+	Expanded int
+}
+
+type node struct {
+	schema *replication.Schema
+	pairs  []candidates.Pair // candidates still plausible for this node
+	f      float64
+	seq    int // insertion order, for deterministic ties
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].f != h[j].f {
+		return h[i].f < h[j].f
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs the bounded Aε-Star search.
+func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("astar: nil problem")
+	}
+	if cfg.Epsilon < 0 {
+		return nil, fmt.Errorf("astar: negative epsilon %v", cfg.Epsilon)
+	}
+	cfg = cfg.withDefaults()
+
+	root := &node{schema: p.NewSchema(), pairs: candidates.Build(p, true)}
+	root.f = score(root, cfg.Epsilon)
+
+	best := completeGreedily(root.schema.Clone(), root.pairs)
+	res := &Result{Schema: best}
+
+	open := nodeHeap{root}
+	heap.Init(&open)
+	seq := 1
+
+	for open.Len() > 0 && res.Expanded < cfg.NodeBudget {
+		n := heap.Pop(&open).(*node)
+		res.Expanded++
+
+		// Rank this node's live candidates by current benefit.
+		type scored struct {
+			pair    candidates.Pair
+			benefit int64
+		}
+		var live []scored
+		keep := n.pairs[:0]
+		for _, pr := range n.pairs {
+			if n.schema.HasReplica(pr.Object, pr.Server) || n.schema.Residual(pr.Server) < pr.Size {
+				continue
+			}
+			b := n.schema.LocalBenefit(pr.Server, pr.Object)
+			if b <= 0 {
+				continue
+			}
+			keep = append(keep, pr)
+			live = append(live, scored{pair: pr, benefit: b})
+		}
+		n.pairs = keep
+		if len(live) == 0 {
+			if n.schema.TotalCost() < res.Schema.TotalCost() {
+				res.Schema = n.schema
+			}
+			continue
+		}
+		sort.Slice(live, func(a, b int) bool {
+			if live[a].benefit != live[b].benefit {
+				return live[a].benefit > live[b].benefit
+			}
+			if live[a].pair.Server != live[b].pair.Server {
+				return live[a].pair.Server < live[b].pair.Server
+			}
+			return live[a].pair.Object < live[b].pair.Object
+		})
+
+		branch := cfg.Branch
+		if branch > len(live) {
+			branch = len(live)
+		}
+		for c := 0; c < branch; c++ {
+			child := &node{schema: n.schema.Clone(), pairs: append([]candidates.Pair(nil), n.pairs...), seq: seq}
+			seq++
+			pr := live[c].pair
+			if _, err := child.schema.PlaceReplica(pr.Object, pr.Server); err != nil {
+				return nil, fmt.Errorf("astar: expanding (%d on %d): %w", pr.Object, pr.Server, err)
+			}
+			child.f = score(child, cfg.Epsilon)
+			heap.Push(&open, child)
+
+			// Keep the incumbent fresh: complete the most promising child
+			// greedily (rolling out every child would triple the work for
+			// marginal incumbent gains).
+			if c == 0 {
+				done := completeGreedily(child.schema.Clone(), child.pairs)
+				if done.TotalCost() < res.Schema.TotalCost() {
+					res.Schema = done
+				}
+			}
+		}
+	}
+	res.Placed = res.Schema.Placed()
+	return res, nil
+}
+
+// score computes f = g + (1+ε)h with h = -Σ positive benefits (optimistic:
+// every beneficial candidate realized at its current value).
+func score(n *node, eps float64) float64 {
+	var h int64
+	for _, pr := range n.pairs {
+		if n.schema.HasReplica(pr.Object, pr.Server) || n.schema.Residual(pr.Server) < pr.Size {
+			continue
+		}
+		if b := n.schema.LocalBenefit(pr.Server, pr.Object); b > 0 {
+			h += b
+		}
+	}
+	return float64(n.schema.TotalCost()) - (1+eps)*float64(h)
+}
+
+// completeGreedily rolls a partial placement out to a full solution with
+// best-benefit-first placements, using a lazy max-heap (exact, because
+// benefits only shrink as replicas appear).
+func completeGreedily(s *replication.Schema, pairs []candidates.Pair) *replication.Schema {
+	h := make(rolloutHeap, 0, len(pairs))
+	for _, pr := range pairs {
+		if s.HasReplica(pr.Object, pr.Server) || s.Residual(pr.Server) < pr.Size {
+			continue
+		}
+		if b := s.LocalBenefit(pr.Server, pr.Object); b > 0 {
+			h = append(h, rolloutItem{pair: pr, benefit: b})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		top := h[0]
+		pr := top.pair
+		if s.HasReplica(pr.Object, pr.Server) || s.Residual(pr.Server) < pr.Size {
+			heap.Pop(&h)
+			continue
+		}
+		b := s.LocalBenefit(pr.Server, pr.Object)
+		if b <= 0 {
+			heap.Pop(&h)
+			continue
+		}
+		if b < top.benefit {
+			h[0].benefit = b
+			heap.Fix(&h, 0)
+			continue
+		}
+		if _, err := s.PlaceReplica(pr.Object, pr.Server); err != nil {
+			return s
+		}
+		heap.Pop(&h)
+	}
+	return s
+}
+
+type rolloutItem struct {
+	pair    candidates.Pair
+	benefit int64
+}
+
+type rolloutHeap []rolloutItem
+
+func (h rolloutHeap) Len() int { return len(h) }
+func (h rolloutHeap) Less(i, j int) bool {
+	if h[i].benefit != h[j].benefit {
+		return h[i].benefit > h[j].benefit
+	}
+	if h[i].pair.Server != h[j].pair.Server {
+		return h[i].pair.Server < h[j].pair.Server
+	}
+	return h[i].pair.Object < h[j].pair.Object
+}
+func (h rolloutHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rolloutHeap) Push(x interface{}) { *h = append(*h, x.(rolloutItem)) }
+func (h *rolloutHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

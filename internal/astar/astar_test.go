@@ -1,0 +1,118 @@
+package astar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/greedy"
+	"repro/internal/testutil"
+)
+
+func TestSolveImproves(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(1))
+	res, err := Solve(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Savings() <= 0 {
+		t.Fatalf("savings = %v", res.Schema.Savings())
+	}
+	if res.Expanded <= 0 {
+		t.Fatal("no expansions counted")
+	}
+	if res.Placed != res.Schema.Placed() {
+		t.Fatalf("placed mismatch: %d vs %d", res.Placed, res.Schema.Placed())
+	}
+	if err := res.Schema.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(nil, Config{}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	p := testutil.MustBuild(testutil.Small(2))
+	if _, err := Solve(p, Config{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestNodeBudgetRespected(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(3))
+	res, err := Solve(p, Config{NodeBudget: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expanded > 5 {
+		t.Fatalf("expanded %d nodes, budget 5", res.Expanded)
+	}
+	// Even with a tiny budget, the greedy rollouts give a full solution.
+	if res.Schema.Savings() <= 0 {
+		t.Fatalf("savings = %v", res.Schema.Savings())
+	}
+}
+
+// With the incumbent kept by greedy rollouts, Aε-Star can never be worse
+// than plain best-benefit greedy.
+func TestNeverWorseThanGreedyRollout(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := testutil.InstanceConfig{
+			Servers: 10, Objects: 40, Requests: 4000, RWRatio: 0.85,
+			CapacityPercent: 25, EdgeP: 0.4, Seed: seed,
+		}
+		a, err := Solve(testutil.MustBuild(cfg), Config{NodeBudget: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := greedy.Solve(testutil.MustBuild(cfg), greedy.Config{ByDensity: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Schema.TotalCost() > g.Schema.TotalCost() {
+			t.Fatalf("seed %d: astar %d worse than raw-benefit greedy %d",
+				seed, a.Schema.TotalCost(), g.Schema.TotalCost())
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := testutil.Small(7)
+	a, err := Solve(testutil.MustBuild(cfg), Config{NodeBudget: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(testutil.MustBuild(cfg), Config{NodeBudget: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema.TotalCost() != b.Schema.TotalCost() || a.Expanded != b.Expanded {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d",
+			a.Schema.TotalCost(), a.Expanded, b.Schema.TotalCost(), b.Expanded)
+	}
+}
+
+// Property: the search result is always a feasible improvement.
+func TestSolveValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := testutil.InstanceConfig{
+			Servers: 8, Objects: 20, Requests: 2000, RWRatio: 0.8,
+			CapacityPercent: 30, EdgeP: 0.4, Seed: seed,
+		}
+		p, err := testutil.Build(cfg)
+		if err != nil {
+			return false
+		}
+		res, err := Solve(p, Config{NodeBudget: 30})
+		if err != nil {
+			return false
+		}
+		if res.Schema.TotalCost() > res.Schema.BaseCost() {
+			return false
+		}
+		return res.Schema.ValidateInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package auction implements the two price-clock baselines the paper
+// compares against (Khan and Ahmad [15]): a Dutch (descending-clock)
+// auction and an English (ascending-clock) auction for replica allocation.
+//
+// Unlike AGT-RAM, which holds one sealed-bid contest over *all* (server,
+// object) valuations per round, the auction methods sell one object at a
+// time: objects are auctioned in public-popularity order, in repeated
+// passes, each auction placing at most one new replica of that object on
+// the winning server. Two structural handicaps follow, and they are exactly
+// the gaps Tables 1–2 and Figures 3–4 report:
+//
+//   - selection is per-object, so under binding capacity servers fill up on
+//     early (popular) objects even when later objects would have been
+//     globally better — a quality loss against AGT-RAM's global pick;
+//   - the winner is discovered by walking a quantized price clock, so every
+//     auction costs ticks×bidders agent polls instead of one sealed bid per
+//     agent — a running-time loss. The ascending English clock starts at
+//     the floor and therefore needs either many ticks or a coarse step;
+//     its coarser default step loses additional quality to tie-breaks.
+package auction
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/replication"
+)
+
+// Kind selects the clock direction.
+type Kind int
+
+const (
+	// Dutch descends from a public ceiling; the first agent to accept wins.
+	Dutch Kind = iota
+	// English ascends from the floor; the last agent standing wins.
+	English
+)
+
+// String names the auction kind.
+func (k Kind) String() string {
+	if k == English {
+		return "english"
+	}
+	return "dutch"
+}
+
+// Config tunes the clock.
+type Config struct {
+	Kind Kind
+	// Step is the multiplicative clock step (> 0). Defaults: 0.05 for
+	// Dutch, 0.2 for English (the ascending clock must cross the whole
+	// price range, so it runs coarser to terminate in reasonable time).
+	Step float64
+	// MaxPlacements caps the number of replicas placed; <= 0 is unbounded.
+	MaxPlacements int
+}
+
+func (c Config) step() float64 {
+	if c.Step > 0 {
+		return c.Step
+	}
+	if c.Kind == English {
+		return 0.2
+	}
+	return 0.05
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Schema *replication.Schema
+	Placed int
+	// Passes counts sweeps over the object list.
+	Passes int
+	// Ticks counts clock ticks across all auctions.
+	Ticks int64
+	// Polls counts agent valuation polls (the auctions' overhead versus the
+	// single sealed-bid exchange per round of AGT-RAM).
+	Polls int64
+}
+
+// Solve runs repeated per-object clock auctions until a full pass places
+// nothing.
+func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("auction: nil problem")
+	}
+	if cfg.Step < 0 {
+		return nil, fmt.Errorf("auction: negative step %v", cfg.Step)
+	}
+	step := cfg.step()
+	schema := p.NewSchema()
+	res := &Result{Schema: schema}
+
+	// Public popularity order: total request volume, descending.
+	order := make([]int32, p.N)
+	for k := range order {
+		order[k] = int32(k)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va := p.Work.TotalReads[order[a]] + p.Work.TotalWrites[order[a]]
+		vb := p.Work.TotalReads[order[b]] + p.Work.TotalWrites[order[b]]
+		if va != vb {
+			return va > vb
+		}
+		return order[a] < order[b]
+	})
+
+	// The Dutch clock descends from a public per-object ceiling: no
+	// valuation of object k can exceed its total read volume times its size
+	// times the network diameter, all public knowledge.
+	diameter := float64(maxCost(p))
+
+	for {
+		res.Passes++
+		placedThisPass := 0
+		for _, k := range order {
+			if cfg.MaxPlacements > 0 && res.Placed >= cfg.MaxPlacements {
+				return res, nil
+			}
+			ceiling := (float64(p.Work.TotalReads[k])*float64(p.Work.ObjectSize[k])*diameter + 1) * (1 + step)
+			winner, ok := auctionObject(p, schema, k, cfg.Kind, step, ceiling, res)
+			if !ok {
+				continue
+			}
+			if _, err := schema.PlaceReplica(k, winner); err != nil {
+				return nil, fmt.Errorf("auction: placing object %d on %d: %w", k, winner, err)
+			}
+			res.Placed++
+			placedThisPass++
+		}
+		if placedThisPass == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// auctionObject runs one clock auction for object k and returns the winning
+// server, if any agent values a new replica of k.
+func auctionObject(p *replication.Problem, s *replication.Schema, k int32,
+	kind Kind, step, ceiling float64, res *Result) (int, bool) {
+
+	// Collect the bidders: servers with positive valuation and capacity.
+	type bid struct {
+		server int
+		val    int64
+	}
+	var bids []bid
+	size := p.Work.ObjectSize[k]
+	for i := 0; i < p.M; i++ {
+		if s.HasReplica(k, i) || s.Residual(i) < size {
+			continue
+		}
+		res.Polls++
+		if v := s.LocalBenefit(i, k); v > 0 {
+			bids = append(bids, bid{server: i, val: v})
+		}
+	}
+	if len(bids) == 0 {
+		return 0, false
+	}
+
+	switch kind {
+	case English:
+		// Ascend from the floor; agents drop out as the price passes their
+		// valuation; the last group standing ties by server id.
+		price := 1.0
+		remaining := bids
+		for len(remaining) > 1 {
+			res.Ticks++
+			next := remaining[:0]
+			for _, b := range remaining {
+				res.Polls++
+				if float64(b.val) >= price*(1+step) {
+					next = append(next, b)
+				}
+			}
+			if len(next) == 0 {
+				break // all dropped in one tick: id tie-break over `remaining`
+			}
+			remaining = next
+			price *= 1 + step
+		}
+		w := remaining[0]
+		for _, b := range remaining[1:] {
+			if b.server < w.server {
+				w = b
+			}
+		}
+		return w.server, true
+	default:
+		// Dutch: descend from the public ceiling until someone accepts; all
+		// acceptors inside the tick window tie by server id.
+		price := ceiling
+		for {
+			res.Ticks++
+			var first *bid
+			for idx := range bids {
+				res.Polls++
+				if float64(bids[idx].val) >= price {
+					if first == nil || bids[idx].server < first.server {
+						first = &bids[idx]
+					}
+				}
+			}
+			if first != nil {
+				return first.server, true
+			}
+			price /= 1 + step
+		}
+	}
+}
+
+// maxCost returns the largest pairwise communication cost (public).
+func maxCost(p *replication.Problem) int32 {
+	var max int32 = 1
+	for i := 0; i < p.M; i++ {
+		for j := i + 1; j < p.M; j++ {
+			if c := p.Cost.At(i, j); c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,131 @@
+package auction
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/testutil"
+)
+
+func TestDutchImproves(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(1))
+	res, err := Solve(p, Config{Kind: Dutch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Savings() <= 0 {
+		t.Fatalf("savings = %v", res.Schema.Savings())
+	}
+	if res.Ticks <= 0 || res.Polls <= 0 {
+		t.Fatalf("clock counters missing: ticks=%d polls=%d", res.Ticks, res.Polls)
+	}
+	if err := res.Schema.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnglishImproves(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(2))
+	res, err := Solve(p, Config{Kind: English})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Savings() <= 0 {
+		t.Fatalf("savings = %v", res.Schema.Savings())
+	}
+	if err := res.Schema.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveNilAndBadStep(t *testing.T) {
+	if _, err := Solve(nil, Config{}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	p := testutil.MustBuild(testutil.Small(3))
+	if _, err := Solve(p, Config{Step: -0.1}); err == nil {
+		t.Fatal("negative step accepted")
+	}
+}
+
+func TestMaxPlacements(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(4))
+	res, err := Solve(p, Config{Kind: Dutch, MaxPlacements: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed > 2 {
+		t.Fatalf("placed %d, want <= 2", res.Placed)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Dutch.String() != "dutch" || English.String() != "english" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+// The English clock polls far more than the paper's sealed-bid mechanism
+// would: its tick count must exceed the number of allocations.
+func TestEnglishClockOverhead(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(5))
+	res, err := Solve(p, Config{Kind: English})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed > 0 && res.Ticks <= int64(res.Placed) {
+		t.Fatalf("english auction should tick more than once per round: ticks=%d placed=%d",
+			res.Ticks, res.Placed)
+	}
+}
+
+// Coarser clocks lose more quality: a very coarse Dutch clock must not beat
+// a fine one by more than noise, and both must stay valid.
+func TestStepGranularityEffect(t *testing.T) {
+	fine, err := Solve(testutil.MustBuild(testutil.Small(6)), Config{Kind: Dutch, Step: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Solve(testutil.MustBuild(testutil.Small(6)), Config{Kind: Dutch, Step: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Schema.Savings() <= 0 || coarse.Schema.Savings() <= 0 {
+		t.Fatalf("savings: fine=%v coarse=%v", fine.Schema.Savings(), coarse.Schema.Savings())
+	}
+	// The fine clock approximates the sealed-bid optimum better (or ties).
+	if coarse.Schema.Savings() > fine.Schema.Savings()+1 {
+		t.Fatalf("coarse clock (%v) should not meaningfully beat fine clock (%v)",
+			coarse.Schema.Savings(), fine.Schema.Savings())
+	}
+}
+
+// Property: both auctions terminate, respect constraints, and never
+// increase cost.
+func TestAuctionsValidProperty(t *testing.T) {
+	f := func(seed int64, english bool) bool {
+		cfg := testutil.InstanceConfig{
+			Servers: 8, Objects: 25, Requests: 2500, RWRatio: 0.8,
+			CapacityPercent: 30, EdgeP: 0.4, Seed: seed,
+		}
+		p, err := testutil.Build(cfg)
+		if err != nil {
+			return false
+		}
+		kind := Dutch
+		if english {
+			kind = English
+		}
+		res, err := Solve(p, Config{Kind: kind})
+		if err != nil {
+			return false
+		}
+		if res.Schema.TotalCost() > res.Schema.BaseCost() {
+			return false
+		}
+		return res.Schema.ValidateInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}

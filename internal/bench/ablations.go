@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/mechanism"
+	"repro/internal/stats"
+)
+
+// AblationPayment quantifies why the paper's Axiom 5 payment matters: for a
+// batch of synthetic bid scenarios, it measures the best utility gain an
+// agent can extract by misreporting under the second-price rule (always 0)
+// versus the first-price rule (strictly positive whenever shading pays).
+func AblationPayment(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	r := stats.NewRNG(cfg.Seed)
+	t := &Table{
+		Title:    "Ablation A: manipulation gain by payment rule (Axiom 5)",
+		RowLabel: "scenario batch",
+		Unit:     "mean best misreport gain (utility units)",
+		Columns:  []string{"second-price", "first-price"},
+	}
+	for batch := 0; batch < 5; batch++ {
+		var gainSecond, gainFirst float64
+		const scenarios = 200
+		for sc := 0; sc < scenarios; sc++ {
+			trueVal := r.Int64Range(100, 100000)
+			others := make([]mechanism.Bid, r.IntnInclusive(1, 8))
+			for i := range others {
+				others[i] = mechanism.Bid{Agent: i, Value: r.Int64Range(100, 100000)}
+			}
+			var mis []int64
+			for f := 1; f <= 8; f++ {
+				mis = append(mis, trueVal*int64(f)/4) // 0.25x .. 2x
+			}
+			gainSecond += float64(mechanism.ManipulationGain(mechanism.SecondPrice, trueVal, mis, others))
+			gainFirst += float64(mechanism.ManipulationGain(mechanism.FirstPrice, trueVal, mis, others))
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("batch %d (%d scenarios)", batch+1, scenarios),
+			Values: []float64{gainSecond / scenarios, gainFirst / scenarios},
+		})
+	}
+	return t, nil
+}
+
+// AblationValuation compares the paper's local CoR valuation against the
+// exact global OTC delta an omniscient agent could compute: solution
+// quality (savings) and the per-run wall time of each.
+func AblationValuation(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m := scaled(paperM, cfg.Scale/2, 20)
+	n := scaled(paperN, cfg.Scale/2, 100)
+	t := &Table{
+		Title:    fmt.Sprintf("Ablation B: AGT-RAM valuation rule [M=%d, N=%d, R/W=0.90]", m, n),
+		RowLabel: "capacity%",
+		Unit:     "savings % | seconds",
+		Columns:  []string{"local savings", "exact savings", "local s", "exact s"},
+	}
+	for _, capacity := range []float64{10, 20, 30} {
+		icfg := repro.InstanceConfig{
+			Servers: m, Objects: n, Requests: requestsFor(n),
+			RWRatio: 0.90, CapacityPercent: capacity, Seed: cfg.Seed,
+		}
+		instL, err := repro.NewInstance(icfg)
+		if err != nil {
+			return nil, err
+		}
+		local, err := instL.Solve(repro.AGTRAM, &repro.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		instE, err := repro.NewInstance(icfg)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := instE.Solve(repro.AGTRAM, &repro.Options{Workers: cfg.Workers, ExactValuation: true})
+		if err != nil {
+			return nil, err
+		}
+		cfg.progress("Ablation B: C=%.0f%% local=%.2f%% exact=%.2f%%", capacity, local.SavingsPercent, exact.SavingsPercent)
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%.0f", capacity),
+			Values: []float64{
+				local.SavingsPercent, exact.SavingsPercent,
+				local.Runtime.Seconds(), exact.Runtime.Seconds(),
+			},
+		})
+	}
+	return t, nil
+}
+
+// AblationEngine compares the three AGT-RAM engines (synchronous-parallel,
+// goroutine message passing, gob over net.Pipe) — identical allocations,
+// different communication substrate — and the centralized raw-benefit scan
+// (greedy without density) as the non-mechanism control.
+func AblationEngine(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m := scaled(paperM, cfg.Scale/2, 20)
+	n := scaled(paperN, cfg.Scale/2, 100)
+	icfg := repro.InstanceConfig{
+		Servers: m, Objects: n, Requests: requestsFor(n),
+		RWRatio: 0.90, CapacityPercent: 20, Seed: cfg.Seed,
+	}
+	t := &Table{
+		Title:    fmt.Sprintf("Ablation C: AGT-RAM engines [M=%d, N=%d, C=20%%, R/W=0.90]", m, n),
+		RowLabel: "engine",
+		Unit:     "savings % / seconds",
+		Columns:  []string{"savings", "seconds"},
+	}
+	engines := []struct {
+		name string
+		opts repro.Options
+	}{
+		{"sync-parallel", repro.Options{Workers: cfg.Workers}},
+		{"goroutine-msgs", repro.Options{Workers: cfg.Workers, Distributed: true}},
+		{"gob-netpipe", repro.Options{Workers: cfg.Workers, Network: true}},
+	}
+	for _, e := range engines {
+		inst, err := repro.NewInstance(icfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := inst.Solve(repro.AGTRAM, &e.opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.progress("Ablation C: %s %.2f%% in %s", e.name, res.SavingsPercent, time.Since(start).Round(time.Millisecond))
+		t.Rows = append(t.Rows, Row{Label: e.name, Values: []float64{res.SavingsPercent, res.Runtime.Seconds()}})
+	}
+	// Control: the same allocation rule run as one centralized scan.
+	inst, err := repro.NewInstance(icfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := inst.Solve(repro.Greedy, &repro.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, Row{Label: "centralized-greedy", Values: []float64{res.SavingsPercent, res.Runtime.Seconds()}})
+	return t, nil
+}

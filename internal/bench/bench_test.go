@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// tiny keeps experiment tests fast: the smallest usable scale.
+func tiny() Config {
+	return Config{Scale: 0.008, Seed: 7, GRAGenerations: 6}
+}
+
+func TestFigure3ShapeAndContent(t *testing.T) {
+	tab, err := Figure3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("got %d capacity points, want 7", len(tab.Rows))
+	}
+	// Monotone-ish growth for AGT-RAM: last point must beat the first.
+	first, ok := tab.Value(0, "AGT-RAM")
+	if !ok {
+		t.Fatal("AGT-RAM column missing")
+	}
+	last, _ := tab.Value(len(tab.Rows)-1, "AGT-RAM")
+	if last <= first {
+		t.Fatalf("no capacity growth: first=%.2f last=%.2f", first, last)
+	}
+	// GRA trails AGT-RAM at every capacity point (the paper's headline).
+	for i := range tab.Rows {
+		agt, _ := tab.Value(i, "AGT-RAM")
+		gra, _ := tab.Value(i, "GRA")
+		if gra >= agt {
+			t.Fatalf("row %d: GRA %.2f >= AGT-RAM %.2f", i, gra, agt)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	tab, err := Figure4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("got %d R/W points, want 10", len(tab.Rows))
+	}
+	// Savings must grow with the read share: compare R/W=0.5 and 0.95.
+	mid, _ := tab.Value(4, "AGT-RAM")
+	top, _ := tab.Value(9, "AGT-RAM")
+	if top <= mid {
+		t.Fatalf("savings should grow with reads: 0.5->%.2f 0.95->%.2f", mid, top)
+	}
+}
+
+func TestTable1Columns(t *testing.T) {
+	cfg := tiny()
+	cfg.Methods = []repro.Method{repro.AGTRAM, repro.Greedy, repro.GRA}
+	tab, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("got %d problem sizes, want 9", len(tab.Rows))
+	}
+	if tab.Columns[len(tab.Columns)-1] != "AGT-RAM gain %" {
+		t.Fatalf("missing gain column: %v", tab.Columns)
+	}
+	for i := range tab.Rows {
+		if v, _ := tab.Value(i, "AGT-RAM"); v <= 0 {
+			t.Fatalf("row %d: non-positive runtime", i)
+		}
+	}
+}
+
+func TestTable2RowsAndGain(t *testing.T) {
+	cfg := tiny()
+	cfg.Methods = []repro.Method{repro.AGTRAM, repro.GRA}
+	tab, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("got %d instances, want 10", len(tab.Rows))
+	}
+	// Against GRA alone, AGT-RAM must never lose, and must win outright on
+	// most instances (write-heavy rows can leave both near zero savings).
+	positive := 0
+	for i := range tab.Rows {
+		gain, ok := tab.Value(i, "AGT-RAM gain %")
+		if !ok {
+			t.Fatal("gain column missing")
+		}
+		if gain < 0 {
+			t.Fatalf("row %d: AGT-RAM loses to GRA by %.2f%%", i, -gain)
+		}
+		if gain > 0 {
+			positive++
+		}
+	}
+	if positive < 7 {
+		t.Fatalf("AGT-RAM beat GRA on only %d/10 instances", positive)
+	}
+}
+
+func TestAblationPayment(t *testing.T) {
+	tab, err := AblationPayment(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		second, _ := tab.Value(i, "second-price")
+		first, _ := tab.Value(i, "first-price")
+		if second != 0 {
+			t.Fatalf("batch %d: second-price manipulation gain %.2f, want 0", i, second)
+		}
+		if first <= 0 {
+			t.Fatalf("batch %d: first-price manipulation gain %.2f, want > 0", i, first)
+		}
+	}
+}
+
+func TestAblationValuation(t *testing.T) {
+	tab, err := AblationValuation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		local, _ := tab.Value(i, "local savings")
+		exact, _ := tab.Value(i, "exact savings")
+		if local <= 0 || exact <= 0 {
+			t.Fatalf("row %d: non-positive savings %.2f/%.2f", i, local, exact)
+		}
+	}
+}
+
+func TestAblationEngine(t *testing.T) {
+	tab, err := AblationEngine(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (three engines + control)", len(tab.Rows))
+	}
+	// All three engines produce identical savings.
+	s0, _ := tab.Value(0, "savings")
+	s1, _ := tab.Value(1, "savings")
+	s2, _ := tab.Value(2, "savings")
+	if s0 != s1 || s0 != s2 {
+		t.Fatalf("engines disagree: %.4f / %.4f / %.4f", s0, s1, s2)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:    "demo",
+		RowLabel: "x",
+		Unit:     "y",
+		Columns:  []string{"a", "b"},
+		Rows: []Row{
+			{Label: "1", Values: []float64{1.5, 2.5}},
+			{Label: "2", Values: []float64{3, 4}},
+		},
+	}
+	var text bytes.Buffer
+	if err := tab.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "demo") || !strings.Contains(text.String(), "2.50") {
+		t.Fatalf("render missing content:\n%s", text.String())
+	}
+	var csvBuf bytes.Buffer
+	if err := tab.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x,a,b" {
+		t.Fatalf("csv wrong:\n%s", csvBuf.String())
+	}
+	if _, ok := tab.Value(0, "missing"); ok {
+		t.Fatal("Value found a missing column")
+	}
+}
+
+func TestMethodLabels(t *testing.T) {
+	for _, m := range repro.Methods() {
+		if MethodLabel(m) == string(m) && m != "unknown" {
+			// All six methods have pretty labels distinct from their ids.
+			t.Fatalf("method %q has no label", m)
+		}
+	}
+	if MethodLabel("custom") != "custom" {
+		t.Fatal("unknown methods should pass through")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	cfg := tiny()
+	cfg.Methods = []repro.Method{repro.AGTRAM}
+	var lines []string
+	cfg.Progress = func(s string) { lines = append(lines, s) }
+	if _, err := Figure4(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no progress reported")
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	tab := &Table{
+		Title:    "chart demo",
+		RowLabel: "x",
+		Columns:  []string{"a", "b"},
+		Rows: []Row{
+			{Label: "10", Values: []float64{10, 40}},
+			{Label: "20", Values: []float64{30, 45}},
+			{Label: "30", Values: []float64{50, 48}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderChart(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"chart demo", "*=a", "o=b", "(x)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Marker characters must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("no series markers:\n%s", out)
+	}
+	// Empty table degrades gracefully.
+	var empty bytes.Buffer
+	if err := (&Table{}).RenderChart(&empty, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "empty") {
+		t.Fatal("empty table not reported")
+	}
+}
+
+// The entire experiment pipeline is deterministic: regenerating Figure 3
+// at the same scale and seed yields cell-identical tables.
+func TestPipelineDeterminism(t *testing.T) {
+	cfg := tiny()
+	cfg.Methods = []repro.Method{repro.AGTRAM, repro.GRA}
+	a, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i].Values {
+			if a.Rows[i].Values[j] != b.Rows[i].Values[j] {
+				t.Fatalf("cell (%d,%d) differs across runs: %v vs %v",
+					i, j, a.Rows[i].Values[j], b.Rows[i].Values[j])
+			}
+		}
+	}
+}

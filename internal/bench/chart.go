@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderChart draws the table as an ASCII line chart — one series per
+// column — so Figures 3 and 4 render as figures on a terminal. Rows are the
+// x axis (their labels), cell values the y axis. Width and height are the
+// plot area in characters; sensible minimums are enforced.
+func (t *Table) RenderChart(w io.Writer, width, height int) error {
+	if len(t.Rows) == 0 || len(t.Columns) == 0 {
+		_, err := fmt.Fprintln(w, "(empty table)")
+		return err
+	}
+	if width < 2*len(t.Rows) {
+		width = 2 * len(t.Rows)
+	}
+	if width < 40 {
+		width = 40
+	}
+	if height < 8 {
+		height = 8
+	}
+
+	// Series markers: one distinct rune per column.
+	markers := []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Value range over all series.
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if min > 0 {
+		min = 0 // anchor savings-style charts at zero
+	}
+	if max <= min {
+		max = min + 1
+	}
+
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = make([]rune, width)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	plot := func(row, col int, v float64) {
+		x := 0
+		if len(t.Rows) > 1 {
+			x = row * (width - 1) / (len(t.Rows) - 1)
+		}
+		frac := (v - min) / (max - min)
+		y := height - 1 - int(frac*float64(height-1)+0.5)
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		m := markers[col%len(markers)]
+		if grid[y][x] != ' ' && grid[y][x] != m {
+			grid[y][x] = '=' // collision: series overlap here
+		} else {
+			grid[y][x] = m
+		}
+	}
+	for ci := range t.Columns {
+		for ri, r := range t.Rows {
+			if ci < len(r.Values) {
+				plot(ri, ci, r.Values[ci])
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, t.Title); err != nil {
+		return err
+	}
+	for y := 0; y < height; y++ {
+		v := max - (max-min)*float64(y)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%8.1f |%s\n", v, string(grid[y])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	// X labels: first and last row labels.
+	first, last := t.Rows[0].Label, t.Rows[len(t.Rows)-1].Label
+	pad := width - len(first) - len(last)
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %s%s%s   (%s)\n", "", first, strings.Repeat(" ", pad), last, t.RowLabel); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for ci, c := range t.Columns {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[ci%len(markers)], c))
+	}
+	_, err := fmt.Fprintf(w, "%8s  %s\n", "", strings.Join(legend, "  "))
+	return err
+}

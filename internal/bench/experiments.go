@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// Paper-scale constants of Section 5.
+const (
+	paperM = 3718  // AS-level node count estimated with Inet for 1998
+	paperN = 25000 // objects present in all thirteen Friday logs
+)
+
+// Figure3 reproduces "OTC savings versus server capacity": M=3718,
+// N=25,000, R/W=0.95, capacity swept from 10% to 40%.
+func Figure3(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m := scaled(paperM, cfg.Scale, 24)
+	n := scaled(paperN, cfg.Scale, 120)
+	t := &Table{
+		Title:    fmt.Sprintf("Figure 3: OTC savings versus server capacity [M=%d, N=%d, R/W=0.95]", m, n),
+		RowLabel: "capacity%",
+		Unit:     "OTC savings %",
+		Columns:  methodColumns(cfg.Methods),
+	}
+	for _, capacity := range []float64{10, 15, 20, 25, 30, 35, 40} {
+		cfg.progress("Figure 3: capacity %.0f%%", capacity)
+		results, err := runAll(cfg, repro.InstanceConfig{
+			Servers:         m,
+			Objects:         n,
+			Requests:        requestsFor(n),
+			RWRatio:         0.95,
+			CapacityPercent: capacity,
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: fmt.Sprintf("%.0f", capacity)}
+		for _, meth := range cfg.Methods {
+			row.Values = append(row.Values, results[meth].SavingsPercent)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure4 reproduces "OTC savings versus read/write ratio": M=3718,
+// N=25,000, C=45%, R/W swept from 0.10 to 0.95.
+func Figure4(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m := scaled(paperM, cfg.Scale, 24)
+	n := scaled(paperN, cfg.Scale, 120)
+	t := &Table{
+		Title:    fmt.Sprintf("Figure 4: OTC savings versus read/write ratio [M=%d, N=%d, C=45%%]", m, n),
+		RowLabel: "R/W",
+		Unit:     "OTC savings %",
+		Columns:  methodColumns(cfg.Methods),
+	}
+	for _, rw := range []float64{0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95} {
+		cfg.progress("Figure 4: R/W %.2f", rw)
+		results, err := runAll(cfg, repro.InstanceConfig{
+			Servers:         m,
+			Objects:         n,
+			Requests:        requestsFor(n),
+			RWRatio:         rw,
+			CapacityPercent: 45,
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: fmt.Sprintf("%.2f", rw)}
+		for _, meth := range cfg.Methods {
+			row.Values = append(row.Values, results[meth].SavingsPercent)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table1 reproduces "running time of the replica placement methods":
+// C=45%, R/W=0.85, problem sizes (M, N) from 2500x15k to 3718x25k. The
+// extra column reports the paper's headline: the percentage by which
+// AGT-RAM's running time beats the fastest baseline.
+func Table1(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	sizes := []struct{ m, n int }{
+		{2500, 15000}, {2500, 20000}, {2500, 25000},
+		{3000, 15000}, {3000, 20000}, {3000, 25000},
+		{3718, 15000}, {3718, 20000}, {3718, 25000},
+	}
+	t := &Table{
+		Title:    "Table 1: running time of the replica placement methods [C=45%, R/W=0.85, best of 3 runs]",
+		RowLabel: "problem size",
+		Unit:     "seconds",
+		Columns:  append(methodColumns(cfg.Methods), "AGT-RAM gain %"),
+	}
+	const repeats = 3
+	for _, sz := range sizes {
+		m := scaled(sz.m, cfg.Scale, 16)
+		n := scaled(sz.n, cfg.Scale, 80)
+		cfg.progress("Table 1: M=%d N=%d", m, n)
+		icfg := repro.InstanceConfig{
+			Servers:         m,
+			Objects:         n,
+			Requests:        requestsFor(n),
+			RWRatio:         0.85,
+			CapacityPercent: 45,
+			Seed:            stats.Mix64(cfg.Seed, int64(sz.m*31+sz.n)),
+		}
+		// Best-of-N timing: single runs at laptop scale are dominated by
+		// scheduler noise.
+		best := make(map[repro.Method]time.Duration, len(cfg.Methods))
+		for r := 0; r < repeats; r++ {
+			results, err := runAll(cfg, icfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, meth := range cfg.Methods {
+				rt := results[meth].Runtime
+				if prev, ok := best[meth]; !ok || rt < prev {
+					best[meth] = rt
+				}
+			}
+		}
+		row := Row{Label: fmt.Sprintf("M=%d, N=%d", m, n)}
+		var agt time.Duration
+		bestOther := time.Duration(0)
+		for _, meth := range cfg.Methods {
+			rt := best[meth]
+			row.Values = append(row.Values, rt.Seconds())
+			if meth == repro.AGTRAM {
+				agt = rt
+			} else if bestOther == 0 || rt < bestOther {
+				bestOther = rt
+			}
+		}
+		gain := 0.0
+		if bestOther > 0 {
+			gain = 100 * float64(bestOther-agt) / float64(bestOther)
+		}
+		row.Values = append(row.Values, gain)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table2 reproduces "average OTC savings under randomly chosen problem
+// instances": the paper's ten (M, N, C, R/W) combinations. The extra
+// column reports the percentage by which AGT-RAM's savings beat the best
+// baseline's, matching the paper's improvement column.
+func Table2(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	rows := []struct {
+		m, n int
+		c    float64
+		rw   float64
+	}{
+		{100, 1000, 20, 0.75},
+		{200, 2000, 20, 0.80},
+		{500, 3000, 25, 0.95},
+		{1000, 5000, 35, 0.95},
+		{1500, 10000, 25, 0.75},
+		{2000, 15000, 30, 0.65},
+		{2500, 15000, 25, 0.85},
+		{3000, 20000, 25, 0.65},
+		{3500, 25000, 35, 0.50},
+		{3718, 25000, 10, 0.40},
+	}
+	t := &Table{
+		Title:    "Table 2: average OTC savings under randomly chosen problem instances",
+		RowLabel: "instance",
+		Unit:     "OTC savings %",
+		Columns:  append(methodColumns(cfg.Methods), "AGT-RAM gain %", "gain vs mean %"),
+	}
+	for i, spec := range rows {
+		m := scaled(spec.m, cfg.Scale, 16)
+		n := scaled(spec.n, cfg.Scale, 80)
+		cfg.progress("Table 2: instance %d (M=%d N=%d C=%.0f%% R/W=%.2f)", i+1, m, n, spec.c, spec.rw)
+		results, err := runAll(cfg, repro.InstanceConfig{
+			Servers:         m,
+			Objects:         n,
+			Requests:        requestsFor(n),
+			RWRatio:         spec.rw,
+			CapacityPercent: spec.c,
+			Seed:            stats.Mix64(cfg.Seed, int64(i+1)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: fmt.Sprintf("M=%d, N=%d [C=%.0f%%, R/W=%.2f]", m, n, spec.c, spec.rw)}
+		var agt, bestOther, sumOther float64
+		others := 0
+		for _, meth := range cfg.Methods {
+			s := results[meth].SavingsPercent
+			row.Values = append(row.Values, s)
+			if meth == repro.AGTRAM {
+				agt = s
+			} else {
+				if s > bestOther {
+					bestOther = s
+				}
+				sumOther += s
+				others++
+			}
+		}
+		gain := 0.0
+		if bestOther > 0 {
+			gain = 100 * (agt - bestOther) / bestOther
+		}
+		gainMean := 0.0
+		if others > 0 && sumOther > 0 {
+			mean := sumOther / float64(others)
+			gainMean = 100 * (agt - mean) / mean
+		}
+		row.Values = append(row.Values, gain, gainMean)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,49 @@
+// Package candidates enumerates the feasible (server, object) replica
+// candidates of a DRP instance: pairs where the server reads the object,
+// does not already hold its primary, and where replication is at least
+// initially beneficial. All baseline solvers draw from this set; the
+// AGT-RAM agents build the same set independently from their local data.
+package candidates
+
+import (
+	"sort"
+
+	"repro/internal/replication"
+)
+
+// Pair is one candidate placement.
+type Pair struct {
+	Server int
+	Object int32
+	Size   int64
+}
+
+// Build returns all candidate pairs of the instance, sorted by (server,
+// object) for determinism. onlyBeneficial drops pairs whose benefit is not
+// positive in the initial (primary-only) schema; since benefits only shrink
+// as replicas appear, such pairs can never become attractive.
+func Build(p *replication.Problem, onlyBeneficial bool) []Pair {
+	s := p.NewSchema()
+	var out []Pair
+	for i := 0; i < p.M; i++ {
+		for _, d := range p.Work.PerServer[i] {
+			if d.Reads == 0 {
+				continue
+			}
+			if int(p.Work.Primary[d.Object]) == i {
+				continue
+			}
+			if onlyBeneficial && s.LocalBenefit(i, d.Object) <= 0 {
+				continue
+			}
+			out = append(out, Pair{Server: i, Object: d.Object, Size: p.Work.ObjectSize[d.Object]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Server != out[b].Server {
+			return out[a].Server < out[b].Server
+		}
+		return out[a].Object < out[b].Object
+	})
+	return out
+}

@@ -1,0 +1,73 @@
+package candidates
+
+import (
+	"testing"
+
+	"repro/internal/replication"
+	"repro/internal/testutil"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestBuildFiltersAndSorts(t *testing.T) {
+	w := workload.New(3, 3)
+	w.ObjectSize[0], w.ObjectSize[1], w.ObjectSize[2] = 1, 1, 1
+	w.Primary[0], w.Primary[1], w.Primary[2] = 0, 1, 2
+	// server0: reads obj2 (candidate), writes obj1 only (no candidate).
+	w.PerServer[0] = []workload.Demand{{Object: 1, Writes: 5}, {Object: 2, Reads: 3}}
+	// server1: reads its own primary obj1 (no candidate), reads obj0 (candidate).
+	w.PerServer[1] = []workload.Demand{{Object: 0, Reads: 2}, {Object: 1, Reads: 9}}
+	w.Finalize()
+	p, err := replication.NewProblem(topology.AllPairs(topology.Line(3), 1), w, []int64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Build(p, true)
+	if len(got) != 2 {
+		t.Fatalf("got %d candidates: %+v", len(got), got)
+	}
+	if got[0].Server != 0 || got[0].Object != 2 || got[1].Server != 1 || got[1].Object != 0 {
+		t.Fatalf("unexpected candidates: %+v", got)
+	}
+}
+
+func TestBuildOnlyBeneficial(t *testing.T) {
+	// A read-light, write-heavy object should be excluded when
+	// onlyBeneficial is set but included otherwise.
+	w := workload.New(2, 1)
+	w.ObjectSize[0] = 1
+	w.Primary[0] = 0
+	w.PerServer[0] = []workload.Demand{{Object: 0, Writes: 100}}
+	w.PerServer[1] = []workload.Demand{{Object: 0, Reads: 1}}
+	w.Finalize()
+	p, err := replication.NewProblem(topology.AllPairs(topology.Line(2), 1), w, []int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Build(p, true); len(got) != 0 {
+		t.Fatalf("write-heavy candidate not filtered: %+v", got)
+	}
+	if got := Build(p, false); len(got) != 1 {
+		t.Fatalf("unfiltered build wrong: %+v", got)
+	}
+}
+
+func TestBuildOnRandomInstance(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(1))
+	pairs := Build(p, true)
+	if len(pairs) == 0 {
+		t.Fatal("no candidates on a read-heavy instance")
+	}
+	s := p.NewSchema()
+	for _, pr := range pairs {
+		if int(p.Work.Primary[pr.Object]) == pr.Server {
+			t.Fatalf("primary pair leaked: %+v", pr)
+		}
+		if s.LocalBenefit(pr.Server, pr.Object) <= 0 {
+			t.Fatalf("non-beneficial pair leaked: %+v", pr)
+		}
+		if pr.Size != p.Work.ObjectSize[pr.Object] {
+			t.Fatalf("size mismatch: %+v", pr)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package exhaustive solves tiny DRP instances to proven optimality by
+// branch-and-bound over placement sets. The DRP's objective depends only on
+// the *set* of replicas (not the order they were placed), so the search
+// enumerates include/exclude decisions over all (server, object) pairs,
+// pruning with an admissible bound: a pair's possible improvement only
+// shrinks as other replicas appear, so the sum of the currently possible
+// improvements of the undecided pairs bounds everything the remaining
+// subtree can gain.
+//
+// The point of the package is calibration, not production: it gives the
+// true optimum the paper's NP-completeness discussion refers to, so the
+// heuristics' optimality gaps can be measured exactly (see the
+// optimality-gap experiment and tests).
+package exhaustive
+
+import (
+	"fmt"
+
+	"repro/internal/replication"
+)
+
+// DefaultMaxPairs bounds the search width; beyond ~26 decision pairs the
+// tree is impractical even with pruning.
+const DefaultMaxPairs = 26
+
+// Result is a proven-optimal placement.
+type Result struct {
+	Schema *replication.Schema
+	// Nodes counts search-tree nodes visited.
+	Nodes int64
+	// Pairs is the number of decision pairs enumerated.
+	Pairs int
+}
+
+type pair struct {
+	object int32
+	server int
+	size   int64
+}
+
+// Solve finds the optimal placement. maxPairs <= 0 selects DefaultMaxPairs;
+// instances with more decision pairs are rejected rather than silently
+// truncated.
+func Solve(p *replication.Problem, maxPairs int) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("exhaustive: nil problem")
+	}
+	if maxPairs <= 0 {
+		maxPairs = DefaultMaxPairs
+	}
+	// Every non-primary (server, object) pair is a decision: a replica can
+	// help remote readers even when its host never reads the object.
+	var pairs []pair
+	for k := 0; k < p.N; k++ {
+		for i := 0; i < p.M; i++ {
+			if int(p.Work.Primary[k]) == i {
+				continue
+			}
+			pairs = append(pairs, pair{object: int32(k), server: i, size: p.Work.ObjectSize[k]})
+		}
+	}
+	if len(pairs) > maxPairs {
+		return nil, fmt.Errorf("exhaustive: %d decision pairs exceed the %d limit — this solver is for tiny calibration instances",
+			len(pairs), maxPairs)
+	}
+
+	s := p.NewSchema()
+	best := s.Clone()
+	bestCost := best.TotalCost()
+	res := &Result{Pairs: len(pairs)}
+
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		res.Nodes++
+		if cost := s.TotalCost(); cost < bestCost {
+			bestCost = cost
+			best = s.Clone()
+		}
+		if idx == len(pairs) {
+			return
+		}
+		// Admissible bound: the most any completion can still save.
+		var optimistic int64
+		for j := idx; j < len(pairs); j++ {
+			pr := pairs[j]
+			if s.CanPlace(pr.object, pr.server) != nil {
+				continue
+			}
+			if d := s.DeltaIfPlaced(pr.object, pr.server); d < 0 {
+				optimistic += -d
+			}
+		}
+		if s.TotalCost()-optimistic >= bestCost {
+			return // even the optimistic completion cannot beat the incumbent
+		}
+
+		pr := pairs[idx]
+		// Branch 1: include the pair (if feasible).
+		if s.CanPlace(pr.object, pr.server) == nil {
+			if _, err := s.PlaceReplica(pr.object, pr.server); err == nil {
+				dfs(idx + 1)
+				if _, err := s.RemoveReplica(pr.object, pr.server); err != nil {
+					panic(fmt.Sprintf("exhaustive: undo failed: %v", err))
+				}
+			}
+		}
+		// Branch 2: exclude the pair.
+		dfs(idx + 1)
+	}
+	dfs(0)
+	res.Schema = best
+	return res, nil
+}

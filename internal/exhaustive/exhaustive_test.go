@@ -1,0 +1,199 @@
+package exhaustive
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agtram"
+	"repro/internal/astar"
+	"repro/internal/auction"
+	"repro/internal/greedy"
+	"repro/internal/replication"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// tinyInstance builds a DRP small enough for exhaustive search:
+// 4 servers x 6 objects = 18 non-primary pairs.
+func tinyInstance(t testing.TB, seed int64) *replication.Problem {
+	t.Helper()
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Servers: 4, Objects: 6, Requests: 800, RWRatio: 0.85,
+		DemandFraction: 0.6, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(seed + 1)
+	g, err := topology.Random(4, 0.5, topology.DefaultWeights, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := replication.GenerateCapacities(w, 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := replication.NewProblem(topology.AllPairs(g, 1), w, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSolveBasics(t *testing.T) {
+	p := tinyInstance(t, 1)
+	res, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema == nil || res.Nodes <= 0 || res.Pairs != 18 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.Schema.TotalCost() > res.Schema.BaseCost() {
+		t.Fatal("optimum worse than doing nothing")
+	}
+	if err := res.Schema.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(nil, 0); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	p := tinyInstance(t, 2)
+	if _, err := Solve(p, 5); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+// The branch-and-bound must agree with plain brute force (no pruning).
+func TestMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		p := tinyInstance(t, seed)
+		res, err := Solve(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := bruteForce(t, p)
+		if res.Schema.TotalCost() != brute {
+			t.Fatalf("seed %d: B&B %d != brute force %d", seed, res.Schema.TotalCost(), brute)
+		}
+	}
+}
+
+// bruteForce enumerates every subset without pruning.
+func bruteForce(t *testing.T, p *replication.Problem) int64 {
+	t.Helper()
+	type pr struct {
+		k int32
+		m int
+	}
+	var pairs []pr
+	for k := 0; k < p.N; k++ {
+		for i := 0; i < p.M; i++ {
+			if int(p.Work.Primary[k]) != i {
+				pairs = append(pairs, pr{k: int32(k), m: i})
+			}
+		}
+	}
+	if len(pairs) > 20 {
+		t.Skip("too many pairs for brute force")
+	}
+	best := p.NewSchema().TotalCost()
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		s := p.NewSchema()
+		ok := true
+		for b, pa := range pairs {
+			if mask&(1<<b) == 0 {
+				continue
+			}
+			if s.CanPlace(pa.k, pa.m) != nil {
+				ok = false
+				break
+			}
+			if _, err := s.PlaceReplica(pa.k, pa.m); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok && s.TotalCost() < best {
+			best = s.TotalCost()
+		}
+	}
+	return best
+}
+
+// No heuristic may beat the proven optimum, and the mechanism should land
+// close to it on these tiny instances.
+func TestHeuristicsNeverBeatOptimum(t *testing.T) {
+	var gapSum float64
+	const seeds = 10
+	for seed := int64(0); seed < seeds; seed++ {
+		p := tinyInstance(t, seed)
+		opt, err := Solve(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optCost := opt.Schema.TotalCost()
+
+		check := func(name string, cost int64) {
+			if cost < optCost {
+				t.Fatalf("seed %d: %s (%d) beat the proven optimum (%d)", seed, name, cost, optCost)
+			}
+		}
+		a, err := agtram.Solve(tinyInstance(t, seed), agtram.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("agt-ram", a.Schema.TotalCost())
+		g, err := greedy.Solve(tinyInstance(t, seed), greedy.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("greedy", g.Schema.TotalCost())
+		as, err := astar.Solve(tinyInstance(t, seed), astar.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("ae-star", as.Schema.TotalCost())
+		da, err := auction.Solve(tinyInstance(t, seed), auction.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("da", da.Schema.TotalCost())
+
+		if optCost > 0 {
+			gapSum += float64(a.Schema.TotalCost()-optCost) / float64(optCost)
+		}
+	}
+	// The mechanism's mean optimality gap on tiny instances stays small.
+	if mean := gapSum / seeds; mean > 0.10 {
+		t.Fatalf("AGT-RAM mean optimality gap %.1f%% — suspiciously large", 100*mean)
+	}
+}
+
+// Property: the incumbent returned by the search is always feasible and its
+// incremental cost is exact.
+func TestOptimumValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p := tinyInstance(quietTB{}, seed)
+		res, err := Solve(p, 0)
+		if err != nil {
+			return false
+		}
+		return res.Schema.ValidateInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quietTB lets tinyInstance run inside quick.Check (which has no *testing.T
+// per call); any build failure panics instead of failing a test.
+type quietTB struct{ testing.TB }
+
+func (quietTB) Helper()                           {}
+func (quietTB) Fatal(args ...interface{})         { panic(args) }
+func (quietTB) Fatalf(f string, a ...interface{}) { panic(f) }

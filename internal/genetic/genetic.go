@@ -1,0 +1,237 @@
+// Package genetic implements the GRA baseline of the paper's comparison
+// (Loukopoulos and Ahmad [21]): a genetic algorithm over replica
+// placements.
+//
+// An individual encodes a placement as (priority permutation, selection
+// mask) over the instance's candidate (server, object) pairs; decoding
+// places the selected candidates in priority order while they fit. Fitness
+// is the exact OTC of the decoded schema. Search uses tournament selection,
+// order crossover on the permutation, uniform crossover on the mask,
+// swap/flip mutation and single-individual elitism. Fitness evaluation of a
+// generation fans out over a worker pool.
+//
+// As in the paper, GRA's quality hinges on the initial gene population and
+// its localized view of the placement interactions, so with practical
+// budgets it trails the constructive methods in both quality and time —
+// the behaviour Figures 3-4 and Tables 1-2 report.
+package genetic
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/candidates"
+	"repro/internal/replication"
+	"repro/internal/stats"
+)
+
+// Config tunes the GA.
+type Config struct {
+	Population  int     // default 16 (must be even, >= 4)
+	Generations int     // default 30
+	Mutation    float64 // per-gene mutation probability, default 0.05
+	Tournament  int     // tournament size, default 3
+	Workers     int     // parallel fitness workers; <= 0 selects GOMAXPROCS
+	Seed        int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Population == 0 {
+		c.Population = 16
+	}
+	if c.Generations == 0 {
+		c.Generations = 30
+	}
+	if c.Mutation == 0 {
+		c.Mutation = 0.05
+	}
+	if c.Tournament == 0 {
+		c.Tournament = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Schema *replication.Schema
+	// Evaluations counts schema decodings (the dominant cost).
+	Evaluations int64
+	// History records the best OTC per generation (for convergence plots).
+	History []int64
+}
+
+type individual struct {
+	perm []int32 // priority order over candidate indices
+	mask []bool  // selected candidates
+	cost int64
+}
+
+// Solve runs the GA.
+func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("genetic: nil problem")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Population < 4 || cfg.Population%2 != 0 {
+		return nil, fmt.Errorf("genetic: population must be even and >= 4, got %d", cfg.Population)
+	}
+	if cfg.Mutation < 0 || cfg.Mutation > 1 {
+		return nil, fmt.Errorf("genetic: mutation rate %v outside [0,1]", cfg.Mutation)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	pairs := candidates.Build(p, true)
+	res := &Result{}
+
+	if len(pairs) == 0 {
+		res.Schema = p.NewSchema()
+		return res, nil
+	}
+
+	decode := func(ind *individual) *replication.Schema {
+		s := p.NewSchema()
+		for _, gi := range ind.perm {
+			if !ind.mask[gi] {
+				continue
+			}
+			pr := pairs[gi]
+			if s.CanPlace(pr.Object, pr.Server) != nil {
+				continue
+			}
+			if _, err := s.PlaceReplica(pr.Object, pr.Server); err != nil {
+				continue
+			}
+		}
+		return s
+	}
+
+	newIndividual := func(r *stats.RNG) *individual {
+		ind := &individual{perm: r.Perm32(len(pairs)), mask: make([]bool, len(pairs))}
+		for i := range ind.mask {
+			ind.mask[i] = r.Bool(0.5)
+		}
+		return ind
+	}
+
+	pop := make([]*individual, cfg.Population)
+	for i := range pop {
+		pop[i] = newIndividual(rng.Split(int64(i)))
+	}
+
+	evaluate := func(inds []*individual) {
+		var wg sync.WaitGroup
+		work := make(chan *individual, len(inds))
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ind := range work {
+					ind.cost = decode(ind).TotalCost()
+				}
+			}()
+		}
+		for _, ind := range inds {
+			work <- ind
+		}
+		close(work)
+		wg.Wait()
+		res.Evaluations += int64(len(inds))
+	}
+
+	evaluate(pop)
+	best := fittest(pop)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]*individual, 0, cfg.Population)
+		next = append(next, best) // elitism
+		for len(next) < cfg.Population {
+			a := tournament(pop, cfg.Tournament, rng)
+			b := tournament(pop, cfg.Tournament, rng)
+			child := crossover(a, b, rng)
+			mutate(child, cfg.Mutation, rng)
+			next = append(next, child)
+		}
+		evaluate(next[1:]) // the elite keeps its cost
+		pop = next
+		best = fittest(pop)
+		res.History = append(res.History, best.cost)
+	}
+	res.Schema = decode(best)
+	return res, nil
+}
+
+func fittest(pop []*individual) *individual {
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.cost < best.cost {
+			best = ind
+		}
+	}
+	return best
+}
+
+func tournament(pop []*individual, k int, r *stats.RNG) *individual {
+	best := pop[r.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[r.Intn(len(pop))]
+		if c.cost < best.cost {
+			best = c
+		}
+	}
+	return best
+}
+
+// crossover combines two parents: order crossover (OX) on the permutation,
+// uniform crossover on the mask.
+func crossover(a, b *individual, r *stats.RNG) *individual {
+	n := len(a.perm)
+	child := &individual{perm: make([]int32, n), mask: make([]bool, n)}
+	// OX: copy a random slice from parent a, fill the rest in b's order.
+	lo := r.Intn(n)
+	hi := lo + r.Intn(n-lo)
+	taken := make(map[int32]bool, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		child.perm[i] = a.perm[i]
+		taken[a.perm[i]] = true
+	}
+	pos := 0
+	for _, g := range b.perm {
+		if taken[g] {
+			continue
+		}
+		for pos >= lo && pos <= hi {
+			pos++
+		}
+		if pos >= n {
+			break
+		}
+		child.perm[pos] = g
+		pos++
+	}
+	for i := range child.mask {
+		if r.Bool(0.5) {
+			child.mask[i] = a.mask[i]
+		} else {
+			child.mask[i] = b.mask[i]
+		}
+	}
+	return child
+}
+
+// mutate applies swap mutations on the permutation and bit flips on the
+// mask, each gene with probability rate.
+func mutate(ind *individual, rate float64, r *stats.RNG) {
+	n := len(ind.perm)
+	for i := 0; i < n; i++ {
+		if r.Bool(rate) {
+			j := r.Intn(n)
+			ind.perm[i], ind.perm[j] = ind.perm[j], ind.perm[i]
+		}
+		if r.Bool(rate) {
+			ind.mask[i] = !ind.mask[i]
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package genetic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agtram"
+	"repro/internal/testutil"
+)
+
+func TestSolveRuns(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(1))
+	res, err := Solve(p, Config{Generations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema == nil {
+		t.Fatal("nil schema")
+	}
+	if res.Evaluations <= 0 {
+		t.Fatal("no evaluations counted")
+	}
+	if len(res.History) != 10 {
+		t.Fatalf("history length %d, want 10", len(res.History))
+	}
+	if err := res.Schema.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(nil, Config{}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	p := testutil.MustBuild(testutil.Small(2))
+	if _, err := Solve(p, Config{Population: 3}); err == nil {
+		t.Fatal("odd tiny population accepted")
+	}
+	if _, err := Solve(p, Config{Mutation: 1.5}); err == nil {
+		t.Fatal("mutation > 1 accepted")
+	}
+}
+
+func TestElitismMonotone(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(3))
+	res, err := Solve(p, Config{Generations: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatalf("best cost regressed at generation %d: %d -> %d",
+				i, res.History[i-1], res.History[i])
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{Generations: 8, Seed: 4, Workers: 4}
+	a, err := Solve(testutil.MustBuild(testutil.Small(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(testutil.MustBuild(testutil.Small(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema.TotalCost() != b.Schema.TotalCost() {
+		t.Fatalf("non-deterministic: %d vs %d", a.Schema.TotalCost(), b.Schema.TotalCost())
+	}
+}
+
+func TestMoreGenerationsHelp(t *testing.T) {
+	short, err := Solve(testutil.MustBuild(testutil.Small(5)), Config{Generations: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Solve(testutil.MustBuild(testutil.Small(5)), Config{Generations: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Schema.TotalCost() > short.Schema.TotalCost() {
+		t.Fatalf("40 generations (%d) worse than 2 (%d)",
+			long.Schema.TotalCost(), short.Schema.TotalCost())
+	}
+}
+
+// The paper's headline comparison: with practical budgets, GRA trails the
+// constructive mechanism in solution quality.
+func TestGRATrailsAGTRAM(t *testing.T) {
+	cfg := testutil.Medium(6)
+	gres, err := Solve(testutil.MustBuild(cfg), Config{Generations: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := agtram.Solve(testutil.MustBuild(cfg), agtram.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Schema.Savings() >= ares.Schema.Savings() {
+		t.Fatalf("GRA (%v%%) should trail AGT-RAM (%v%%) on this budget",
+			gres.Schema.Savings(), ares.Schema.Savings())
+	}
+}
+
+// Property: decoded schemas always satisfy the DRP constraints.
+func TestDecodedAlwaysFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := testutil.InstanceConfig{
+			Servers: 8, Objects: 20, Requests: 1500, RWRatio: 0.8,
+			CapacityPercent: 30, EdgeP: 0.4, Seed: seed,
+		}
+		p, err := testutil.Build(cfg)
+		if err != nil {
+			return false
+		}
+		res, err := Solve(p, Config{Generations: 4, Population: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return res.Schema.ValidateInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

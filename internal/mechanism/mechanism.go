@@ -1,0 +1,290 @@
+// Package mechanism implements the generalized axiomatic game-theoretical
+// mechanism of Section 3 of the paper: sealed-bid single-winner rounds with
+// a configurable payment rule, the six axioms of Figure 1 as checkable
+// properties, and utilities for verifying dominant-strategy truthfulness
+// (Lemma 1 / Theorems 1–5).
+//
+// The mapping to the paper: each round, every agent i reports its dominant
+// (best) private valuation t_i — in the replica game, the cost-of-replication
+// benefit CoR of its favourite object. The mechanism's algorithmic output
+// x(t) allocates to the highest report, and the payment p_i(t) hands the
+// winner the overall second-best report (Axiom 5's "very strong incentive"),
+// making truth-telling a weakly dominant strategy exactly as in a Vickrey
+// auction. The winner's utility is u = v_i(t_i, x) + h(t_-i) with
+// h = -(second-best), i.e. trueValue - secondBid.
+package mechanism
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Axiom identifies one of the six axioms of Figure 1.
+type Axiom int
+
+// The six axioms, in paper order.
+const (
+	AxiomIngredients Axiom = iota + 1
+	AxiomAgentDisposition
+	AxiomTruthful
+	AxiomUtilitarian
+	AxiomMotivation
+	AxiomAlgorithmicOutput
+)
+
+// String names the axiom.
+func (a Axiom) String() string {
+	switch a {
+	case AxiomIngredients:
+		return "Ingredients"
+	case AxiomAgentDisposition:
+		return "Agent disposition"
+	case AxiomTruthful:
+		return "Truthful"
+	case AxiomUtilitarian:
+		return "Utilitarian"
+	case AxiomMotivation:
+		return "Motivation"
+	case AxiomAlgorithmicOutput:
+		return "Algorithmic output"
+	default:
+		return fmt.Sprintf("Axiom(%d)", int(a))
+	}
+}
+
+// Description returns the paper's one-line statement of the axiom.
+func (a Axiom) Description() string {
+	switch a {
+	case AxiomIngredients:
+		return "A mechanism should have an algorithmic output specification and agents' utility functions."
+	case AxiomAgentDisposition:
+		return "Every agent has a private true value; everything else is public knowledge."
+	case AxiomTruthful:
+		return "The mechanism should have agents that project dominant strategies."
+	case AxiomUtilitarian:
+		return "The mechanism's objective function should be to sum the agents' valuations."
+	case AxiomMotivation:
+		return "The mechanism should reward the agents with a payment."
+	case AxiomAlgorithmicOutput:
+		return "The mechanism's algorithmic output should be a function that aids the agents to execute their preferences."
+	default:
+		return ""
+	}
+}
+
+// Axioms lists all six in paper order.
+func Axioms() []Axiom {
+	return []Axiom{
+		AxiomIngredients, AxiomAgentDisposition, AxiomTruthful,
+		AxiomUtilitarian, AxiomMotivation, AxiomAlgorithmicOutput,
+	}
+}
+
+// PaymentRule selects how the winner of a round is paid.
+type PaymentRule int
+
+const (
+	// SecondPrice pays the winner the second-best report (the paper's
+	// Axiom 5 payment; truthful).
+	SecondPrice PaymentRule = iota
+	// FirstPrice pays the winner its own report (ablation baseline; not
+	// truthful — agents gain by misreporting).
+	FirstPrice
+)
+
+// String names the rule.
+func (r PaymentRule) String() string {
+	if r == FirstPrice {
+		return "first-price"
+	}
+	return "second-price"
+}
+
+// Satisfies reports whether the rule satisfies the given axiom. Only the
+// truthfulness axiom distinguishes the rules: first-price payments break
+// dominant-strategy truth-telling (verified empirically in tests).
+func (r PaymentRule) Satisfies(a Axiom) bool {
+	if a == AxiomTruthful {
+		return r == SecondPrice
+	}
+	return true
+}
+
+// Bid is one agent's sealed report for one round: "replicating Item on my
+// server is worth Value to me".
+type Bid struct {
+	Agent int
+	Item  int32
+	Value int64
+}
+
+// Round is the outcome of one sealed-bid round.
+type Round struct {
+	Winner  Bid
+	Payment int64 // second-best (or own, for first-price) report
+	NumBids int
+}
+
+// RunRound selects the winner (highest value; ties break toward the lowest
+// agent id for determinism) and computes the payment. ok is false when no
+// bids were submitted.
+func RunRound(bids []Bid, rule PaymentRule) (round Round, ok bool) {
+	if len(bids) == 0 {
+		return Round{}, false
+	}
+	best := bids[0]
+	second := int64(0) // a lone bidder is paid 0 (no competition to beat)
+	hasSecond := false
+	for _, b := range bids[1:] {
+		if b.Value > best.Value || (b.Value == best.Value && b.Agent < best.Agent) {
+			second, hasSecond = best.Value, true
+			best = b
+		} else if !hasSecond || b.Value > second {
+			second, hasSecond = b.Value, true
+		}
+	}
+	payment := second
+	if rule == FirstPrice {
+		payment = best.Value
+	}
+	return Round{Winner: best, Payment: payment, NumBids: len(bids)}, true
+}
+
+// Utility returns an agent's utility for a round given its true value: the
+// winner earns trueValue - secondBid under second-price (trueValue - ownBid
+// under first-price reduces to 0 when truthful); losers earn 0. This is the
+// paper's u_i = p_i + v_i with h_i(t_-i) = -min second-best.
+func Utility(r Round, rule PaymentRule, agent int, trueValue int64) int64 {
+	if r.Winner.Agent != agent {
+		return 0
+	}
+	switch rule {
+	case FirstPrice:
+		return trueValue - r.Winner.Value
+	default:
+		return trueValue - r.Payment
+	}
+}
+
+// SocialWelfare is the utilitarian objective g(t,x) = Σ v_i(t_i, x)
+// (Theorem 2): with a single-winner allocation it is the winner's true
+// value.
+func SocialWelfare(r Round, trueValues map[int]int64) int64 {
+	return trueValues[r.Winner.Agent]
+}
+
+// TruthfulIsDominant checks dominant-strategy truthfulness on one concrete
+// scenario: an agent with the given true value, considering one misreport,
+// against a fixed profile of other agents' reports. It returns true when
+// reporting the truth yields at least the misreport's utility.
+func TruthfulIsDominant(rule PaymentRule, trueValue, misreport int64, others []Bid) bool {
+	truthBids := append(append([]Bid(nil), others...), Bid{Agent: -1, Value: trueValue})
+	misBids := append(append([]Bid(nil), others...), Bid{Agent: -1, Value: misreport})
+	rT, _ := RunRound(truthBids, rule)
+	rM, _ := RunRound(misBids, rule)
+	return Utility(rT, rule, -1, trueValue) >= Utility(rM, rule, -1, trueValue)
+}
+
+// ManipulationGain returns the maximum utility improvement the agent can
+// extract by misreporting over the given candidate misreports. A truthful
+// mechanism yields 0 for every scenario.
+func ManipulationGain(rule PaymentRule, trueValue int64, misreports []int64, others []Bid) int64 {
+	truthBids := append(append([]Bid(nil), others...), Bid{Agent: -1, Value: trueValue})
+	rT, _ := RunRound(truthBids, rule)
+	base := Utility(rT, rule, -1, trueValue)
+	var gain int64
+	for _, m := range misreports {
+		bids := append(append([]Bid(nil), others...), Bid{Agent: -1, Value: m})
+		r, _ := RunRound(bids, rule)
+		if u := Utility(r, rule, -1, trueValue); u-base > gain {
+			gain = u - base
+		}
+	}
+	return gain
+}
+
+// VCGScenario is one concrete situation for the Theorem 3 characterization
+// check: the agents' true values for a single-item round.
+type VCGScenario struct {
+	TrueValues []int64
+}
+
+// VerifyVCGCharacterization checks Theorem 3's two conditions on concrete
+// scenarios: (1) the allocation maximizes the reported social value
+// (x(t) ∈ argmax Σ v_i), and (2) the winner's payment equals the
+// externality form p_i = Σ_{j≠i} v_j(x) + h_i(t_-i) with
+// h_i = -(best competing value) — which reduces, for a single-item round,
+// to the second-best report. It returns the first scenario violating
+// either condition, or -1 when all pass.
+func VerifyVCGCharacterization(rule PaymentRule, scenarios []VCGScenario) (int, error) {
+	for idx, sc := range scenarios {
+		if len(sc.TrueValues) == 0 {
+			continue
+		}
+		bids := make([]Bid, len(sc.TrueValues))
+		var max, second int64
+		haveMax := false
+		for i, v := range sc.TrueValues {
+			bids[i] = Bid{Agent: i, Value: v}
+			switch {
+			case !haveMax || v > max:
+				second, max, haveMax = max, v, true
+			case v > second:
+				second = v
+			}
+		}
+		if len(sc.TrueValues) == 1 {
+			second = 0
+		}
+		round, ok := RunRound(bids, rule)
+		if !ok {
+			return idx, fmt.Errorf("mechanism: round failed on scenario %d", idx)
+		}
+		// Condition 1: allocative efficiency.
+		if round.Winner.Value != max {
+			return idx, fmt.Errorf("mechanism: scenario %d: winner value %d is not the maximum %d",
+				idx, round.Winner.Value, max)
+		}
+		// Condition 2: the Groves payment form.
+		if rule == SecondPrice && round.Payment != second {
+			return idx, fmt.Errorf("mechanism: scenario %d: payment %d != externality form %d",
+				idx, round.Payment, second)
+		}
+		if rule == FirstPrice && round.Payment != round.Winner.Value {
+			return idx, fmt.Errorf("mechanism: scenario %d: first-price payment %d != winning bid %d",
+				idx, round.Payment, round.Winner.Value)
+		}
+	}
+	return -1, nil
+}
+
+// ComplianceReport relates a payment rule to the six axioms, for
+// documentation and the examples.
+type ComplianceReport struct {
+	Rule     PaymentRule
+	Verdicts map[Axiom]bool
+}
+
+// Compliance builds the report for a rule.
+func Compliance(rule PaymentRule) ComplianceReport {
+	rep := ComplianceReport{Rule: rule, Verdicts: make(map[Axiom]bool, 6)}
+	for _, a := range Axioms() {
+		rep.Verdicts[a] = rule.Satisfies(a)
+	}
+	return rep
+}
+
+// String renders the compliance report, axioms in paper order.
+func (c ComplianceReport) String() string {
+	out := fmt.Sprintf("payment rule %s:\n", c.Rule)
+	axioms := Axioms()
+	sort.Slice(axioms, func(i, j int) bool { return axioms[i] < axioms[j] })
+	for _, a := range axioms {
+		mark := "satisfied"
+		if !c.Verdicts[a] {
+			mark = "VIOLATED"
+		}
+		out += fmt.Sprintf("  axiom %d (%s): %s\n", int(a), a, mark)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Package pool provides a tiny persistent worker pool for the solvers'
+// fan-out loops. Workers live for the lifetime of the pool, so algorithms
+// with many small parallel phases (one per mechanism round or greedy
+// iteration) do not pay a goroutine spawn per phase.
+package pool
+
+import "sync"
+
+// Pool is a fixed-size persistent worker pool.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+}
+
+// New starts a pool with n workers (at least 1).
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{workers: n, tasks: make(chan func(), n)}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the workers down. The pool must be idle.
+func (p *Pool) Close() { close(p.tasks) }
+
+// Batch splits [0, n) into one chunk per worker, runs the chunks on the
+// pool, and blocks until all complete. f must be safe for concurrent calls
+// on disjoint ranges.
+func (p *Pool) Batch(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 {
+		f(0, n)
+		return
+	}
+	chunk := (n + p.workers - 1) / p.workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		p.wg.Add(1)
+		p.tasks <- func() { f(lo, hi) }
+	}
+	p.wg.Wait()
+}

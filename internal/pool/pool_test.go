@@ -1,0 +1,90 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBatchCoversRangeExactlyOnce(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 1000
+	var hits [n]int32
+	p.Batch(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestBatchZeroAndNegative(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	called := false
+	p.Batch(0, func(lo, hi int) { called = true })
+	p.Batch(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("empty batch invoked the worker function")
+	}
+}
+
+func TestSingleWorkerRunsInline(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	ranges := 0
+	p.Batch(10, func(lo, hi int) {
+		ranges++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("single worker got range [%d,%d)", lo, hi)
+		}
+	})
+	if ranges != 1 {
+		t.Fatalf("single worker split the batch into %d ranges", ranges)
+	}
+}
+
+func TestWorkerCountClamped(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want clamped to 1", p.Workers())
+	}
+}
+
+func TestRepeatedBatches(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var total int64
+	for round := 0; round < 50; round++ {
+		p.Batch(100, func(lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+	}
+	if total != 50*100 {
+		t.Fatalf("total work %d, want %d", total, 50*100)
+	}
+}
+
+func TestBatchSmallerThanWorkers(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	var hits [3]int32
+	p.Batch(3, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package replication
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	p := tinyProblem(t, 10)
+	s := p.NewSchema()
+	if b := s.Breakdown(); b.Total() != s.TotalCost() {
+		t.Fatalf("initial breakdown %+v != total %d", b, s.TotalCost())
+	}
+	if _, err := s.PlaceReplica(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlaceReplica(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := s.Breakdown()
+	if b.Total() != s.TotalCost() {
+		t.Fatalf("breakdown %+v != total %d", b, s.TotalCost())
+	}
+	if b.ReadCost < 0 || b.ShipCost < 0 || b.BroadcastCost < 0 {
+		t.Fatalf("negative component: %+v", b)
+	}
+}
+
+func TestBreakdownPropertyOnRandom(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p, err := randomProblem(seed, 10, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.NewSchema()
+		r := stats.NewRNG(seed)
+		for step := 0; step < 25; step++ {
+			k := int32(r.Intn(p.N))
+			m := r.Intn(p.M)
+			if s.CanPlace(k, m) == nil {
+				if _, err := s.PlaceReplica(k, m); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if b := s.Breakdown(); b.Total() != s.TotalCost() {
+			t.Fatalf("seed %d: breakdown %d != total %d", seed, b.Total(), s.TotalCost())
+		}
+	}
+}
+
+func TestReportAndRestoreRoundTrip(t *testing.T) {
+	p, err := randomProblem(3, 12, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewSchema()
+	r := stats.NewRNG(3)
+	for step := 0; step < 30; step++ {
+		k := int32(r.Intn(p.N))
+		m := r.Intn(p.M)
+		if s.CanPlace(k, m) == nil {
+			if _, err := s.PlaceReplica(k, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep := s.Report()
+	if rep.OTC != s.TotalCost() || rep.Savings != s.Savings() {
+		t.Fatalf("report headline wrong: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlacement(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := p.Restore(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.TotalCost() != s.TotalCost() || restored.Placed() != s.Placed() {
+		t.Fatalf("restore mismatch: %d/%d vs %d/%d",
+			restored.TotalCost(), restored.Placed(), s.TotalCost(), s.Placed())
+	}
+	if err := restored.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	p, err := randomProblem(4, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.NewSchema().Report()
+	rep.Servers++
+	if _, err := p.Restore(rep); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	rep = p.NewSchema().Report()
+	rep.PerObject[0].Primary = (rep.PerObject[0].Primary + 1) % int32(p.M)
+	if _, err := p.Restore(rep); err == nil {
+		t.Fatal("primary mismatch accepted")
+	}
+}
+
+func TestReadPlacementGarbage(t *testing.T) {
+	if _, err := ReadPlacement(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestServerReportAccounting(t *testing.T) {
+	p := tinyProblem(t, 10)
+	s := p.NewSchema()
+	if _, err := s.PlaceReplica(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	// Server 2: primary of obj1 (size 1) + replica of obj0 (size 2).
+	sr := rep.PerServer[2]
+	if sr.Primary != 1 || sr.Replicas != 1 || sr.Used != 3 {
+		t.Fatalf("server 2 report wrong: %+v", sr)
+	}
+	top := rep.TopLoadedServers(1)
+	if len(top) != 1 || top[0].Server != 2 {
+		t.Fatalf("top loaded = %+v", top)
+	}
+	if len(rep.TopLoadedServers(99)) != 3 {
+		t.Fatal("TopLoadedServers should clamp")
+	}
+}

@@ -1,0 +1,462 @@
+package replication
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schema is a mutable replica placement over a Problem. It starts at the
+// paper's initial state — primary copies only — and maintains the exact
+// OTC, per-server residual capacity, per-object replica sets, and the
+// nearest-neighbor (NN) tables incrementally as replicas are placed.
+type Schema struct {
+	p *Problem
+
+	replicas [][]int32 // per object: sorted server ids holding a copy (incl. primary)
+	nnCost   [][]int32 // per server: c(i, NN_ik), parallel to Work.PerServer[i]
+	nnServer [][]int32 // per server: NN_ik, parallel to Work.PerServer[i]
+	sumBcast []int64   // S_k = Σ_{j∈R_k} c(P_k, j)
+	residual []int64   // remaining capacity per server
+	cost     int64     // current total OTC, maintained incrementally
+	baseCost int64     // OTC of the primary-only placement
+	placed   int       // replicas placed beyond primaries
+}
+
+// NewSchema returns the primary-copies-only placement.
+func (p *Problem) NewSchema() *Schema {
+	s := &Schema{
+		p:        p,
+		replicas: make([][]int32, p.N),
+		nnCost:   make([][]int32, p.M),
+		nnServer: make([][]int32, p.M),
+		sumBcast: make([]int64, p.N),
+		residual: make([]int64, p.M),
+	}
+	for k := 0; k < p.N; k++ {
+		s.replicas[k] = []int32{p.Work.Primary[k]}
+	}
+	for i := 0; i < p.M; i++ {
+		s.residual[i] = p.Capacity[i] - p.primaryLoad[i]
+		ds := p.Work.PerServer[i]
+		s.nnCost[i] = make([]int32, len(ds))
+		s.nnServer[i] = make([]int32, len(ds))
+		for j, d := range ds {
+			pk := p.Work.Primary[d.Object]
+			s.nnServer[i][j] = pk
+			s.nnCost[i][j] = p.Cost.At(i, int(pk))
+		}
+	}
+	s.baseCost = s.RecomputeCost()
+	s.cost = s.baseCost
+	return s
+}
+
+// Problem returns the underlying instance.
+func (s *Schema) Problem() *Problem { return s.p }
+
+// TotalCost returns the incrementally maintained OTC of the placement.
+func (s *Schema) TotalCost() int64 { return s.cost }
+
+// BaseCost returns the OTC of the primary-only placement.
+func (s *Schema) BaseCost() int64 { return s.baseCost }
+
+// Savings returns the paper's performance metric: the percentage of OTC
+// saved relative to the primary-only placement.
+func (s *Schema) Savings() float64 {
+	if s.baseCost == 0 {
+		return 0
+	}
+	return 100 * float64(s.baseCost-s.cost) / float64(s.baseCost)
+}
+
+// Residual reports server i's remaining capacity.
+func (s *Schema) Residual(i int) int64 { return s.residual[i] }
+
+// Placed reports the number of replicas placed beyond the primaries.
+func (s *Schema) Placed() int { return s.placed }
+
+// Replicas returns the sorted replica set of object k (shared slice; do not
+// mutate).
+func (s *Schema) Replicas(k int32) []int32 { return s.replicas[k] }
+
+// HasReplica reports whether server m holds a copy of object k.
+func (s *Schema) HasReplica(k int32, m int) bool {
+	r := s.replicas[k]
+	idx := sort.Search(len(r), func(i int) bool { return r[i] >= int32(m) })
+	return idx < len(r) && r[idx] == int32(m)
+}
+
+// NN returns the nearest replicator of object k from server i. For servers
+// without demand on k it is computed on the fly.
+func (s *Schema) NN(i int, k int32) int32 {
+	if slot, ok := s.demandSlot(i, k); ok {
+		return s.nnServer[i][slot]
+	}
+	best, bestCost := s.replicas[k][0], s.p.Cost.At(i, int(s.replicas[k][0]))
+	for _, j := range s.replicas[k][1:] {
+		if c := s.p.Cost.At(i, int(j)); c < bestCost {
+			best, bestCost = j, c
+		}
+	}
+	return best
+}
+
+func (s *Schema) demandSlot(i int, k int32) (int, bool) {
+	ds := s.p.Work.PerServer[i]
+	idx := sort.Search(len(ds), func(j int) bool { return ds[j].Object >= k })
+	if idx < len(ds) && ds[idx].Object == k {
+		return idx, true
+	}
+	return 0, false
+}
+
+// CanPlace checks the DRP constraints for placing a replica of k on m:
+// the server must exist, must not already hold a copy, and must have
+// residual capacity for o_k.
+func (s *Schema) CanPlace(k int32, m int) error {
+	if k < 0 || int(k) >= s.p.N {
+		return fmt.Errorf("replication: object %d out of range", k)
+	}
+	if m < 0 || m >= s.p.M {
+		return fmt.Errorf("replication: server %d out of range", m)
+	}
+	if s.HasReplica(k, m) {
+		return fmt.Errorf("replication: server %d already holds object %d", m, k)
+	}
+	if s.residual[m] < s.p.Work.ObjectSize[k] {
+		return fmt.Errorf("replication: server %d residual %d below object %d size %d",
+			m, s.residual[m], k, s.p.Work.ObjectSize[k])
+	}
+	return nil
+}
+
+// DeltaIfPlaced returns the exact change in total OTC that placing a
+// replica of k on m would cause, without mutating the schema. Negative
+// deltas are improvements.
+func (s *Schema) DeltaIfPlaced(k int32, m int) int64 {
+	p := s.p
+	ok := p.Work.ObjectSize[k]
+	pk := int(p.Work.Primary[k])
+	cPm := int64(p.Cost.At(pk, m))
+
+	// Write side: S_k grows by c(P_k, m); server m stops paying the
+	// broadcast share for its own writes (Eq. 2's j != i exclusion).
+	wm, _ := s.writeOf(m, k)
+	totalW := p.Work.TotalWrites[k]
+	delta := ok * cPm * (totalW - wm)
+
+	// Read side: every demander whose NN cost exceeds c(i, m) improves.
+	for _, ref := range p.byObject[k] {
+		d := p.Work.PerServer[ref.server][ref.slot]
+		if d.Reads == 0 {
+			continue
+		}
+		oldC := int64(s.nnCost[ref.server][ref.slot])
+		newC := int64(p.Cost.At(int(ref.server), m))
+		if newC < oldC {
+			delta += d.Reads * ok * (newC - oldC)
+		}
+	}
+	return delta
+}
+
+func (s *Schema) writeOf(i int, k int32) (int64, int64) {
+	if slot, ok := s.demandSlot(i, k); ok {
+		d := s.p.Work.PerServer[i][slot]
+		return d.Writes, d.Reads
+	}
+	return 0, 0
+}
+
+// LocalBenefit is the agent-local valuation CoR of Section 4 (Eq. 5's
+// essence): the read traffic server i saves by holding k, minus the update
+// traffic it newly attracts from everyone else's writes. It uses only
+// information available to agent i (its own demand, its NN table, the
+// object's public write volume) — this locality is what makes the mechanism
+// semi-distributed. Positive values are beneficial.
+func (s *Schema) LocalBenefit(i int, k int32) int64 {
+	slot, ok := s.demandSlot(i, k)
+	var reads int64
+	oldC := int64(0)
+	if ok {
+		d := s.p.Work.PerServer[i][slot]
+		reads = d.Reads
+		oldC = int64(s.nnCost[i][slot])
+	} else {
+		oldC = int64(s.p.Cost.At(i, int(s.NN(i, k))))
+	}
+	okSize := s.p.Work.ObjectSize[k]
+	wi, _ := s.writeOf(i, k)
+	pk := int(s.p.Work.Primary[k])
+	update := (s.p.Work.TotalWrites[k] - wi) * okSize * int64(s.p.Cost.At(pk, i))
+	return reads*okSize*oldC - update
+}
+
+// PlaceReplica places a replica of k on m, updating cost, capacity, replica
+// set and all NN entries of k's demanders. It returns the exact OTC delta.
+func (s *Schema) PlaceReplica(k int32, m int) (int64, error) {
+	if err := s.CanPlace(k, m); err != nil {
+		return 0, err
+	}
+	delta := s.applyPlacement(k, m)
+	return delta, nil
+}
+
+// applyPlacement performs the mutation; callers must have validated.
+func (s *Schema) applyPlacement(k int32, m int) int64 {
+	p := s.p
+	ok := p.Work.ObjectSize[k]
+	pk := int(p.Work.Primary[k])
+	cPm := int64(p.Cost.At(pk, m))
+
+	wm, _ := s.writeOf(m, k)
+	delta := ok * cPm * (p.Work.TotalWrites[k] - wm)
+
+	for _, ref := range p.byObject[k] {
+		i := int(ref.server)
+		d := p.Work.PerServer[i][ref.slot]
+		newC := p.Cost.At(i, m)
+		if newC < s.nnCost[i][ref.slot] {
+			if d.Reads > 0 {
+				delta += d.Reads * ok * int64(newC-s.nnCost[i][ref.slot])
+			}
+			s.nnCost[i][ref.slot] = newC
+			s.nnServer[i][ref.slot] = int32(m)
+		}
+	}
+
+	// Insert m into the sorted replica list.
+	r := s.replicas[k]
+	idx := sort.Search(len(r), func(i int) bool { return r[i] >= int32(m) })
+	r = append(r, 0)
+	copy(r[idx+1:], r[idx:])
+	r[idx] = int32(m)
+	s.replicas[k] = r
+
+	s.sumBcast[k] += cPm
+	s.residual[m] -= ok
+	s.cost += delta
+	s.placed++
+	return delta
+}
+
+// CanRemove checks whether a replica of k on m can be dropped: the copy
+// must exist and must not be the primary (the primary copy "cannot be
+// de-allocated" per Section 2).
+func (s *Schema) CanRemove(k int32, m int) error {
+	if k < 0 || int(k) >= s.p.N {
+		return fmt.Errorf("replication: object %d out of range", k)
+	}
+	if m < 0 || m >= s.p.M {
+		return fmt.Errorf("replication: server %d out of range", m)
+	}
+	if int(s.p.Work.Primary[k]) == m {
+		return fmt.Errorf("replication: cannot de-allocate the primary copy of object %d", k)
+	}
+	if !s.HasReplica(k, m) {
+		return fmt.Errorf("replication: server %d holds no replica of object %d", m, k)
+	}
+	return nil
+}
+
+// RemoveReplica drops the replica of k from m — the migration primitive of
+// the adaptive extension ("automatic replication and migration of objects
+// in response to demand changes", Section 7). It returns the exact OTC
+// delta (usually positive: reads fall back to farther replicas; the update
+// broadcast shrinks).
+func (s *Schema) RemoveReplica(k int32, m int) (int64, error) {
+	if err := s.CanRemove(k, m); err != nil {
+		return 0, err
+	}
+	p := s.p
+	ok := p.Work.ObjectSize[k]
+	pk := int(p.Work.Primary[k])
+	cPm := int64(p.Cost.At(pk, m))
+
+	// Write side: the broadcast no longer reaches m (inverse of placement).
+	wm, _ := s.writeOf(m, k)
+	delta := -ok * cPm * (p.Work.TotalWrites[k] - wm)
+
+	// Drop m from the sorted replica list first, so NN rescans see the
+	// post-removal set.
+	r := s.replicas[k]
+	idx := sort.Search(len(r), func(i int) bool { return r[i] >= int32(m) })
+	s.replicas[k] = append(r[:idx], r[idx+1:]...)
+
+	// Read side: demanders whose nearest replica was m rescan.
+	for _, ref := range p.byObject[k] {
+		i := int(ref.server)
+		if s.nnServer[i][ref.slot] != int32(m) {
+			continue
+		}
+		best, bestCost := s.replicas[k][0], p.Cost.At(i, int(s.replicas[k][0]))
+		for _, j := range s.replicas[k][1:] {
+			if c := p.Cost.At(i, int(j)); c < bestCost {
+				best, bestCost = j, c
+			}
+		}
+		d := p.Work.PerServer[i][ref.slot]
+		if d.Reads > 0 {
+			delta += d.Reads * ok * int64(bestCost-s.nnCost[i][ref.slot])
+		}
+		s.nnServer[i][ref.slot] = best
+		s.nnCost[i][ref.slot] = bestCost
+	}
+
+	s.sumBcast[k] -= cPm
+	s.residual[m] += ok
+	s.cost += delta
+	s.placed--
+	return delta, nil
+}
+
+// DeltaIfRemoved returns the exact OTC change dropping the replica of k
+// from m would cause, without mutating the schema.
+func (s *Schema) DeltaIfRemoved(k int32, m int) int64 {
+	p := s.p
+	ok := p.Work.ObjectSize[k]
+	pk := int(p.Work.Primary[k])
+	cPm := int64(p.Cost.At(pk, m))
+	wm, _ := s.writeOf(m, k)
+	delta := -ok * cPm * (p.Work.TotalWrites[k] - wm)
+	for _, ref := range p.byObject[k] {
+		i := int(ref.server)
+		if s.nnServer[i][ref.slot] != int32(m) {
+			continue
+		}
+		best := Infinity32
+		for _, j := range s.replicas[k] {
+			if int(j) == m {
+				continue
+			}
+			if c := p.Cost.At(i, int(j)); c < best {
+				best = c
+			}
+		}
+		d := p.Work.PerServer[i][ref.slot]
+		if d.Reads > 0 {
+			delta += d.Reads * ok * int64(best-s.nnCost[i][ref.slot])
+		}
+	}
+	return delta
+}
+
+// RecomputeCost computes the OTC from scratch (Eqs. 1–3). It is the ground
+// truth the incremental engine is verified against in tests.
+func (s *Schema) RecomputeCost() int64 {
+	p := s.p
+	var total int64
+	for i := 0; i < p.M; i++ {
+		for _, d := range p.Work.PerServer[i] {
+			k := d.Object
+			ok := p.Work.ObjectSize[k]
+			pk := int(p.Work.Primary[k])
+			// Reads to the true nearest replicator.
+			if d.Reads > 0 {
+				best := int64(p.Cost.At(i, int(s.replicas[k][0])))
+				for _, j := range s.replicas[k][1:] {
+					if c := int64(p.Cost.At(i, int(j))); c < best {
+						best = c
+					}
+				}
+				total += d.Reads * ok * best
+			}
+			// Writes: ship to primary, then broadcast to all replicators
+			// except the writer itself.
+			if d.Writes > 0 {
+				var bcast int64
+				for _, j := range s.replicas[k] {
+					if int(j) != i {
+						bcast += int64(p.Cost.At(pk, int(j)))
+					}
+				}
+				total += d.Writes * ok * (int64(p.Cost.At(i, pk)) + bcast)
+			}
+		}
+	}
+	return total
+}
+
+// Clone returns an independent deep copy of the schema, used by the search
+// baselines (GRA, Aε-Star) to explore alternatives.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{
+		p:        s.p,
+		replicas: make([][]int32, len(s.replicas)),
+		nnCost:   make([][]int32, len(s.nnCost)),
+		nnServer: make([][]int32, len(s.nnServer)),
+		sumBcast: append([]int64(nil), s.sumBcast...),
+		residual: append([]int64(nil), s.residual...),
+		cost:     s.cost,
+		baseCost: s.baseCost,
+		placed:   s.placed,
+	}
+	for k := range s.replicas {
+		c.replicas[k] = append([]int32(nil), s.replicas[k]...)
+	}
+	for i := range s.nnCost {
+		c.nnCost[i] = append([]int32(nil), s.nnCost[i]...)
+		c.nnServer[i] = append([]int32(nil), s.nnServer[i]...)
+	}
+	return c
+}
+
+// Matrix exports the replication matrix X as per-object replica sets.
+func (s *Schema) Matrix() [][]int32 {
+	out := make([][]int32, len(s.replicas))
+	for k := range s.replicas {
+		out[k] = append([]int32(nil), s.replicas[k]...)
+	}
+	return out
+}
+
+// ValidateInvariants cross-checks the incremental state against a full
+// recomputation: exact cost agreement, capacity non-negativity, primary
+// membership, NN correctness. Used by tests and by solvers in debug runs.
+func (s *Schema) ValidateInvariants() error {
+	if got := s.RecomputeCost(); got != s.cost {
+		return fmt.Errorf("replication: incremental cost %d != recomputed %d", s.cost, got)
+	}
+	for i, r := range s.residual {
+		if r < 0 {
+			return fmt.Errorf("replication: server %d residual negative: %d", i, r)
+		}
+	}
+	used := make([]int64, s.p.M)
+	for k := range s.replicas {
+		if !s.HasReplica(int32(k), int(s.p.Work.Primary[k])) {
+			return fmt.Errorf("replication: object %d lost its primary copy", k)
+		}
+		for idx, j := range s.replicas[k] {
+			if idx > 0 && s.replicas[k][idx-1] >= j {
+				return fmt.Errorf("replication: object %d replica list unsorted", k)
+			}
+			used[j] += s.p.Work.ObjectSize[k]
+		}
+	}
+	for i := 0; i < s.p.M; i++ {
+		if used[i]+s.residual[i] != s.p.Capacity[i] {
+			return fmt.Errorf("replication: server %d capacity accounting broken: used=%d residual=%d cap=%d",
+				i, used[i], s.residual[i], s.p.Capacity[i])
+		}
+	}
+	// NN tables must point at true nearest replicators.
+	for i := 0; i < s.p.M; i++ {
+		for slot, d := range s.p.Work.PerServer[i] {
+			best := int32(Infinity32)
+			for _, j := range s.replicas[d.Object] {
+				if c := s.p.Cost.At(i, int(j)); c < best {
+					best = c
+				}
+			}
+			if s.nnCost[i][slot] != best {
+				return fmt.Errorf("replication: NN cost stale for server %d object %d: have %d want %d",
+					i, d.Object, s.nnCost[i][slot], best)
+			}
+		}
+	}
+	return nil
+}
+
+// Infinity32 is a sentinel larger than any realistic path cost.
+const Infinity32 = int32(1<<31 - 1)

@@ -1,0 +1,145 @@
+// Package sim replays access traces against replica placements, event by
+// event: every read is routed to the requester's nearest replica, every
+// write is shipped to the object's primary and broadcast to the other
+// replicators — exactly the traffic model of Section 2. The realized
+// transfer cost of a replay equals the analytical OTC of the schema built
+// from the same trace (verified in tests), and the replay additionally
+// yields what the aggregate formula cannot: per-request cost
+// distributions and per-server load, the "no hosts become overloaded"
+// concern of the paper's conclusions.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/replication"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Metrics summarizes one replay.
+type Metrics struct {
+	Events int
+
+	// TransferCost is the total realized object transfer cost; for a
+	// schema built from the same trace and client map it equals the
+	// schema's analytical OTC exactly.
+	TransferCost int64
+	ReadCost     int64
+	WriteCost    int64
+
+	// LocalReads counts reads served by a replica on the requesting
+	// server itself (zero transfer cost).
+	LocalReads int
+
+	// PerServerSent / PerServerReceived count data units moved out of and
+	// into each server: reads are sent by the serving replica and received
+	// by the requester; writes are sent by the writer, received by the
+	// primary, then sent by the primary and received by each other
+	// replicator.
+	PerServerSent     []int64
+	PerServerReceived []int64
+
+	// ReadCosts holds the per-read transfer cost sample (size × distance),
+	// for latency-proxy percentiles.
+	ReadCosts []float64
+}
+
+// ReadCostSummary returns descriptive statistics of the per-read costs.
+func (m *Metrics) ReadCostSummary() stats.Summary { return stats.Summarize(m.ReadCosts) }
+
+// LoadImbalance reports the Gini coefficient of total per-server traffic
+// (sent + received): 0 is perfectly even, values near 1 mean a few servers
+// carry everything.
+func (m *Metrics) LoadImbalance() float64 {
+	total := make([]float64, len(m.PerServerSent))
+	for i := range total {
+		total[i] = float64(m.PerServerSent[i] + m.PerServerReceived[i])
+	}
+	return stats.GiniCoefficient(total)
+}
+
+// HottestServers returns the n busiest servers by total traffic.
+func (m *Metrics) HottestServers(n int) []int {
+	ids := make([]int, len(m.PerServerSent))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ta := m.PerServerSent[ids[a]] + m.PerServerReceived[ids[a]]
+		tb := m.PerServerSent[ids[b]] + m.PerServerReceived[ids[b]]
+		if ta != tb {
+			return ta > tb
+		}
+		return ids[a] < ids[b]
+	})
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return ids[:n]
+}
+
+// Replay routes every event of the trace against the placement. The client
+// map must cover the trace's clients and target servers inside the
+// schema's problem.
+func Replay(l *trace.Log, cm workload.ClientMap, s *replication.Schema) (*Metrics, error) {
+	p := s.Problem()
+	if len(cm) < int(l.Clients) {
+		return nil, fmt.Errorf("sim: client map covers %d clients, trace has %d", len(cm), l.Clients)
+	}
+	if int(l.Objects) != p.N {
+		return nil, fmt.Errorf("sim: trace has %d objects, problem has %d", l.Objects, p.N)
+	}
+	m := &Metrics{
+		PerServerSent:     make([]int64, p.M),
+		PerServerReceived: make([]int64, p.M),
+	}
+	for _, e := range l.Events {
+		server := int(cm[e.Client])
+		if server < 0 || server >= p.M {
+			return nil, fmt.Errorf("sim: client %d maps to invalid server %d", e.Client, server)
+		}
+		k := e.Object
+		size := int64(p.Work.ObjectSize[k])
+		if size != int64(e.Size) {
+			return nil, fmt.Errorf("sim: object %d size mismatch: trace %d, problem %d", k, e.Size, size)
+		}
+		m.Events++
+		if e.Write {
+			pk := int(p.Work.Primary[k])
+			// Ship the new version to the primary...
+			cost := size * int64(p.Cost.At(server, pk))
+			m.PerServerSent[server] += size
+			m.PerServerReceived[pk] += size
+			// ...which broadcasts it to every other replicator (Eq. 2's
+			// j != i exclusion: the writer already has the version).
+			for _, j := range s.Replicas(k) {
+				if int(j) == server {
+					continue
+				}
+				cost += size * int64(p.Cost.At(pk, int(j)))
+				if int(j) != pk {
+					m.PerServerSent[pk] += size
+					m.PerServerReceived[j] += size
+				}
+			}
+			m.WriteCost += cost
+			m.TransferCost += cost
+		} else {
+			nn := int(s.NN(server, k))
+			cost := size * int64(p.Cost.At(server, nn))
+			m.ReadCost += cost
+			m.TransferCost += cost
+			m.ReadCosts = append(m.ReadCosts, float64(cost))
+			if nn == server {
+				m.LocalReads++
+			} else {
+				m.PerServerSent[nn] += size
+				m.PerServerReceived[server] += size
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agtram"
+	"repro/internal/replication"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// buildSystem wires trace -> client map -> workload -> problem, the full
+// paper pipeline, so replayed cost can be compared to analytical OTC.
+func buildSystem(t testing.TB, seed int64) (*trace.Log, workload.ClientMap, *replication.Problem) {
+	t.Helper()
+	l, err := trace.Generate(trace.Config{
+		Objects: 120, Clients: 40, Events: 8000, WriteRatio: 0.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(seed + 1)
+	const servers = 15
+	cm, err := workload.MapClients(40, servers, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.FromTrace(l, cm, servers, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.Random(servers, 0.3, topology.DefaultWeights, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := replication.GenerateCapacities(w, 25, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := replication.NewProblem(topology.AllPairs(g, 0), w, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, cm, p
+}
+
+// The central validation: replaying the trace event by event against the
+// primary-only placement realizes exactly the analytical base OTC.
+func TestReplayMatchesAnalyticalBaseCost(t *testing.T) {
+	l, cm, p := buildSystem(t, 1)
+	s := p.NewSchema()
+	m, err := Replay(l, cm, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TransferCost != s.BaseCost() {
+		t.Fatalf("replayed cost %d != analytical base OTC %d", m.TransferCost, s.BaseCost())
+	}
+	if m.Events != 8000 {
+		t.Fatalf("replayed %d events", m.Events)
+	}
+	if m.ReadCost+m.WriteCost != m.TransferCost {
+		t.Fatal("component accounting broken")
+	}
+}
+
+// After the mechanism places replicas, the replay still matches the
+// analytical OTC exactly — the incremental engine and the event router
+// agree on the cost model.
+func TestReplayMatchesAnalyticalAfterMechanism(t *testing.T) {
+	l, cm, p := buildSystem(t, 2)
+	res, err := agtram.Solve(p, agtram.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Replay(l, cm, res.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TransferCost != res.Schema.TotalCost() {
+		t.Fatalf("replayed cost %d != analytical OTC %d", m.TransferCost, res.Schema.TotalCost())
+	}
+	// Replication must have created locally served reads.
+	if m.LocalReads == 0 {
+		t.Fatal("no local reads after replication")
+	}
+	// And reduced the realized cost against the primary-only replay.
+	base, err := Replay(l, cm, p.NewSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TransferCost >= base.TransferCost {
+		t.Fatalf("replication did not reduce realized cost: %d vs %d",
+			m.TransferCost, base.TransferCost)
+	}
+}
+
+func TestReplayTrafficConservation(t *testing.T) {
+	l, cm, p := buildSystem(t, 3)
+	res, err := agtram.Solve(p, agtram.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Replay(l, cm, res.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent, recv int64
+	for i := range m.PerServerSent {
+		if m.PerServerSent[i] < 0 || m.PerServerReceived[i] < 0 {
+			t.Fatal("negative traffic")
+		}
+		sent += m.PerServerSent[i]
+		recv += m.PerServerReceived[i]
+	}
+	if sent != recv {
+		t.Fatalf("traffic not conserved: sent %d, received %d", sent, recv)
+	}
+}
+
+func TestReplayLoadMetrics(t *testing.T) {
+	l, cm, p := buildSystem(t, 4)
+	m, err := Replay(l, cm, p.NewSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.LoadImbalance()
+	if g < 0 || g >= 1 {
+		t.Fatalf("load Gini %v out of range", g)
+	}
+	hot := m.HottestServers(3)
+	if len(hot) != 3 {
+		t.Fatalf("got %d hottest servers", len(hot))
+	}
+	t1 := m.PerServerSent[hot[0]] + m.PerServerReceived[hot[0]]
+	t2 := m.PerServerSent[hot[1]] + m.PerServerReceived[hot[1]]
+	if t1 < t2 {
+		t.Fatal("hottest servers not sorted")
+	}
+	if len(m.HottestServers(999)) != p.M {
+		t.Fatal("HottestServers should clamp")
+	}
+	if sum := m.ReadCostSummary(); sum.N == 0 {
+		t.Fatal("no read cost samples")
+	}
+}
+
+// Replication spreads load: the mechanism's placement should not leave the
+// traffic more concentrated than primary-only ("ensuring that no hosts
+// become overloaded").
+func TestReplicationReducesLoadImbalance(t *testing.T) {
+	l, cm, p := buildSystem(t, 5)
+	base, err := Replay(l, cm, p.NewSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agtram.Solve(p, agtram.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Replay(l, cm, res.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.LoadImbalance() > base.LoadImbalance()+0.05 {
+		t.Fatalf("replication concentrated load: Gini %.3f -> %.3f",
+			base.LoadImbalance(), after.LoadImbalance())
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	l, cm, p := buildSystem(t, 6)
+	s := p.NewSchema()
+	if _, err := Replay(l, cm[:5], s); err == nil {
+		t.Fatal("short client map accepted")
+	}
+	bad := *l
+	bad.Objects = 999
+	if _, err := Replay(&bad, cm, s); err == nil {
+		t.Fatal("object count mismatch accepted")
+	}
+	cm2 := append(workload.ClientMap(nil), cm...)
+	cm2[0] = 9999
+	if _, err := Replay(l, cm2, s); err == nil {
+		t.Fatal("invalid mapping accepted")
+	}
+}
+
+// Property: replay equals analytical OTC for any seed and any number of
+// random placements.
+func TestReplayExactnessProperty(t *testing.T) {
+	f := func(seed int64, rawPlacements uint8) bool {
+		l, err := trace.Generate(trace.Config{
+			Objects: 40, Clients: 12, Events: 1500, WriteRatio: 0.15, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		r := stats.NewRNG(seed + 7)
+		const servers = 8
+		cm, err := workload.MapClients(12, servers, r)
+		if err != nil {
+			return false
+		}
+		w, err := workload.FromTrace(l, cm, servers, r)
+		if err != nil {
+			return false
+		}
+		g, err := topology.Random(servers, 0.4, topology.DefaultWeights, r)
+		if err != nil {
+			return false
+		}
+		caps, err := replication.GenerateCapacities(w, 30, r)
+		if err != nil {
+			return false
+		}
+		p, err := replication.NewProblem(topology.AllPairs(g, 0), w, caps)
+		if err != nil {
+			return false
+		}
+		s := p.NewSchema()
+		for i := 0; i < int(rawPlacements%40); i++ {
+			k := int32(r.Intn(p.N))
+			m := r.Intn(p.M)
+			if s.CanPlace(k, m) == nil {
+				if _, err := s.PlaceReplica(k, m); err != nil {
+					return false
+				}
+			}
+		}
+		m, err := Replay(l, cm, s)
+		if err != nil {
+			return false
+		}
+		return m.TransferCost == s.TotalCost()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Package stats provides the statistical substrate shared by every other
+// package in the repository: deterministic seedable random sources, the
+// heavy-tailed samplers (Zipf, lognormal, Pareto) that drive the synthetic
+// World Cup 1998 workload, and summary statistics used by the experiment
+// harness.
+//
+// Everything here is deterministic given a seed, so every experiment in the
+// paper reproduction is replayable bit-for-bit.
+package stats
+
+import (
+	"math/rand"
+)
+
+// RNG wraps math/rand.Rand with deterministic splitting so that independent
+// subsystems (topology, trace, workload, solvers) can draw from independent
+// streams derived from one experiment seed without coupling their consumption
+// order.
+type RNG struct {
+	*rand.Rand
+	seed int64
+}
+
+// NewRNG returns a deterministic random source for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed reports the seed the RNG was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Split derives an independent child stream. The child seed mixes the parent
+// seed with the label using a SplitMix64-style finalizer so that nearby
+// labels produce uncorrelated streams.
+func (r *RNG) Split(label int64) *RNG {
+	return NewRNG(Mix64(r.seed, label))
+}
+
+// Mix64 mixes two 64-bit values into a well-distributed 64-bit value using
+// the SplitMix64 finalizer. It is the basis of deterministic stream
+// splitting.
+func Mix64(a, b int64) int64 {
+	z := uint64(a) + 0x9e3779b97f4a7c15*(uint64(b)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// IntnInclusive returns a uniform integer in [lo, hi]. It panics if hi < lo.
+func (r *RNG) IntnInclusive(lo, hi int) int {
+	if hi < lo {
+		panic("stats: IntnInclusive called with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Int64Range returns a uniform int64 in [lo, hi]. It panics if hi < lo.
+func (r *RNG) Int64Range(lo, hi int64) int64 {
+	if hi < lo {
+		panic("stats: Int64Range called with hi < lo")
+	}
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm32 returns a random permutation of [0, n) as int32 values.
+func (r *RNG) Perm32(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

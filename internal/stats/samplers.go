@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^s. It is a
+// thin deterministic wrapper over math/rand.Zipf that reports its own
+// parameters, used to model the heavily skewed object popularity observed in
+// the World Cup 1998 access logs.
+type Zipf struct {
+	z   *rand.Zipf
+	n   uint64
+	s   float64
+	cdf []float64 // inverse-CDF table, used only when s <= 1
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s > 1e-9.
+// Exponents at or below zero are rejected.
+func NewZipf(r *RNG, s float64, n uint64) (*Zipf, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("stats: Zipf needs n > 0, got 0")
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: Zipf needs exponent > 0, got %v", s)
+	}
+	// math/rand.Zipf requires s > 1; for s <= 1 fall back to CDF inversion.
+	if s > 1 {
+		return &Zipf{z: rand.NewZipf(r.Rand, s, 1, n-1), n: n, s: s}, nil
+	}
+	return &Zipf{n: n, s: s, z: nil}, nil
+}
+
+// Sample draws one rank in [0, n). For s <= 1 it uses inverse-CDF sampling
+// over the generalized harmonic weights (lazily built on first use).
+func (z *Zipf) Sample(r *RNG) uint64 {
+	if z.z != nil {
+		return z.z.Uint64()
+	}
+	// Inverse CDF over weights 1/(k+1)^s. The table is rebuilt per sampler,
+	// not per draw.
+	if z.cdf == nil {
+		z.cdf = make([]float64, z.n)
+		sum := 0.0
+		for k := uint64(0); k < z.n; k++ {
+			sum += 1 / math.Pow(float64(k+1), z.s)
+			z.cdf[k] = sum
+		}
+		for k := range z.cdf {
+			z.cdf[k] /= sum
+		}
+	}
+	u := r.Float64()
+	lo, hi := 0, int(z.n)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}
+
+// N reports the support size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// S reports the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Lognormal samples a lognormal distribution with the given location mu and
+// scale sigma of the underlying normal. Object sizes in web traces are well
+// modelled as lognormal; the paper keeps both the mean and the variance of
+// object sizes from the logs.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws one lognormal value.
+func (l Lognormal) Sample(r *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// LognormalFromMeanStd builds a Lognormal whose resulting distribution has
+// the given mean and standard deviation (both must be positive).
+func LognormalFromMeanStd(mean, std float64) (Lognormal, error) {
+	if mean <= 0 || std < 0 {
+		return Lognormal{}, fmt.Errorf("stats: lognormal needs mean > 0 and std >= 0, got mean=%v std=%v", mean, std)
+	}
+	if std == 0 {
+		return Lognormal{Mu: math.Log(mean), Sigma: 0}, nil
+	}
+	v := std * std
+	m2 := mean * mean
+	sigma2 := math.Log(1 + v/m2)
+	return Lognormal{
+		Mu:    math.Log(mean) - sigma2/2,
+		Sigma: math.Sqrt(sigma2),
+	}, nil
+}
+
+// Mean reports the distribution mean exp(mu + sigma^2/2).
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Pareto samples a bounded Pareto distribution on [Lo, Hi] with shape Alpha.
+// It is used for heavy-tailed request counts per client.
+type Pareto struct {
+	Alpha  float64
+	Lo, Hi float64
+}
+
+// Sample draws one bounded Pareto value via inverse CDF.
+func (p Pareto) Sample(r *RNG) float64 {
+	if p.Lo <= 0 || p.Hi <= p.Lo {
+		panic(fmt.Sprintf("stats: bounded Pareto needs 0 < Lo < Hi, got [%v,%v]", p.Lo, p.Hi))
+	}
+	u := r.Float64()
+	la := math.Pow(p.Lo, p.Alpha)
+	ha := math.Pow(p.Hi, p.Alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+}

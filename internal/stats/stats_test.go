@@ -1,0 +1,362 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("RNGs with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeed(t *testing.T) {
+	if got := NewRNG(7).Seed(); got != 7 {
+		t.Fatalf("Seed() = %d, want 7", got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(1)
+	a := r.Split(1)
+	b := r.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d/64 times", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	x := NewRNG(99).Split(5).Int63()
+	y := NewRNG(99).Split(5).Int63()
+	if x != y {
+		t.Fatalf("Split not deterministic: %d vs %d", x, y)
+	}
+}
+
+func TestMix64Distinct(t *testing.T) {
+	seen := make(map[int64]bool)
+	for a := int64(0); a < 50; a++ {
+		for b := int64(0); b < 50; b++ {
+			v := Mix64(a, b)
+			if seen[v] {
+				t.Fatalf("Mix64 collision at (%d,%d)", a, b)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestIntnInclusiveBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.IntnInclusive(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntnInclusive(5,9) = %d out of range", v)
+		}
+	}
+	// Degenerate single-value range.
+	if v := r.IntnInclusive(4, 4); v != 4 {
+		t.Fatalf("IntnInclusive(4,4) = %d, want 4", v)
+	}
+}
+
+func TestIntnInclusivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hi < lo")
+		}
+	}()
+	NewRNG(1).IntnInclusive(5, 4)
+}
+
+func TestInt64RangeBounds(t *testing.T) {
+	r := NewRNG(4)
+	lo, hi := int64(100), int64(200)
+	hitLo, hitHi := false, false
+	for i := 0; i < 20000; i++ {
+		v := r.Int64Range(lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("Int64Range out of range: %d", v)
+		}
+		hitLo = hitLo || v == lo
+		hitHi = hitHi || v == hi
+	}
+	if !hitLo || !hitHi {
+		t.Fatalf("Int64Range never hit an endpoint: lo=%v hi=%v", hitLo, hitHi)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v too far from 0.3", frac)
+	}
+}
+
+func TestPerm32IsPermutation(t *testing.T) {
+	r := NewRNG(6)
+	p := r.Perm32(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm32 not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(7)
+	z, err := NewZipf(r, 1.2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("Zipf counts not decreasing across ranks: c0=%d c10=%d c100=%d",
+			counts[0], counts[10], counts[100])
+	}
+	// Top rank should dominate with s=1.2.
+	if counts[0] < 10000 {
+		t.Fatalf("Zipf rank-0 count %d suspiciously low", counts[0])
+	}
+}
+
+func TestZipfLowExponentFallback(t *testing.T) {
+	r := NewRNG(8)
+	z, err := NewZipf(r, 0.8, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 500)
+	for i := 0; i < 50000; i++ {
+		v := z.Sample(r)
+		if v >= 500 {
+			t.Fatalf("sample %d out of support", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[250] {
+		t.Fatalf("Zipf(0.8) not skewed: c0=%d c250=%d", counts[0], counts[250])
+	}
+	if z.N() != 500 || z.S() != 0.8 {
+		t.Fatalf("accessors wrong: N=%d S=%v", z.N(), z.S())
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	r := NewRNG(9)
+	if _, err := NewZipf(r, 1.1, 0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := NewZipf(r, 0, 10); err == nil {
+		t.Fatal("expected error for s=0")
+	}
+	if _, err := NewZipf(r, -1, 10); err == nil {
+		t.Fatal("expected error for s<0")
+	}
+}
+
+func TestLognormalFromMeanStd(t *testing.T) {
+	ln, err := LognormalFromMeanStd(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ln.Mean()-100) > 1e-9 {
+		t.Fatalf("analytic mean %v, want 100", ln.Mean())
+	}
+	r := NewRNG(10)
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = ln.Sample(r)
+	}
+	m := Mean(xs)
+	if math.Abs(m-100) > 2 {
+		t.Fatalf("empirical mean %v too far from 100", m)
+	}
+	s := Std(xs)
+	if math.Abs(s-50) > 3 {
+		t.Fatalf("empirical std %v too far from 50", s)
+	}
+}
+
+func TestLognormalZeroStd(t *testing.T) {
+	ln, err := LognormalFromMeanStd(42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(11)
+	for i := 0; i < 10; i++ {
+		if v := ln.Sample(r); math.Abs(v-42) > 1e-9 {
+			t.Fatalf("zero-std lognormal returned %v, want 42", v)
+		}
+	}
+}
+
+func TestLognormalErrors(t *testing.T) {
+	if _, err := LognormalFromMeanStd(0, 1); err == nil {
+		t.Fatal("expected error for mean=0")
+	}
+	if _, err := LognormalFromMeanStd(10, -1); err == nil {
+		t.Fatal("expected error for std<0")
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	p := Pareto{Alpha: 1.5, Lo: 1, Hi: 1000}
+	r := NewRNG(12)
+	for i := 0; i < 10000; i++ {
+		v := p.Sample(r)
+		if v < 1 || v > 1000 {
+			t.Fatalf("bounded Pareto sample %v escaped [1,1000]", v)
+		}
+	}
+}
+
+func TestParetoPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Hi <= Lo")
+		}
+	}()
+	Pareto{Alpha: 1, Lo: 5, Hi: 5}.Sample(NewRNG(1))
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := Std(xs); s != 2 {
+		t.Fatalf("Std = %v, want 2", s)
+	}
+}
+
+func TestMeanVarianceEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty-sample statistics should be zero")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("single-point variance should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {150, 5}}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String() empty")
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 {
+		t.Fatalf("empty summary N = %d", zero.N)
+	}
+}
+
+func TestGiniCoefficient(t *testing.T) {
+	even := []float64{5, 5, 5, 5}
+	if g := GiniCoefficient(even); math.Abs(g) > 1e-9 {
+		t.Fatalf("even sample Gini = %v, want 0", g)
+	}
+	skewed := []float64{0, 0, 0, 100}
+	if g := GiniCoefficient(skewed); g < 0.7 {
+		t.Fatalf("skewed sample Gini = %v, want > 0.7", g)
+	}
+	if GiniCoefficient(nil) != 0 {
+		t.Fatal("empty Gini should be 0")
+	}
+	if GiniCoefficient([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero Gini should be 0")
+	}
+}
+
+// Property: Gini is always in [0, 1) for non-negative samples.
+func TestGiniRangeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		g := GiniCoefficient(xs)
+		return g >= -1e-9 && g < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs) // sorts internally; use sorted copy here
+		_ = s
+		sorted := append([]float64(nil), xs...)
+		sortFloats(sorted)
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(sorted, pa) <= Percentile(sorted, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package testutil builds small, deterministic DRP instances shared by the
+// solver test suites. It depends only on the substrates (topology, workload,
+// replication), never on solvers, so every solver package can use it.
+package testutil
+
+import (
+	"fmt"
+
+	"repro/internal/replication"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// InstanceConfig describes a synthetic DRP instance.
+type InstanceConfig struct {
+	Servers         int
+	Objects         int
+	Requests        int
+	RWRatio         float64 // read share in (0,1]
+	CapacityPercent float64 // server capacity as % of total object size
+	EdgeP           float64 // G(n,p) edge probability
+	Seed            int64
+}
+
+// Small returns a quick configuration for unit tests.
+func Small(seed int64) InstanceConfig {
+	return InstanceConfig{
+		Servers:         16,
+		Objects:         60,
+		Requests:        8000,
+		RWRatio:         0.8,
+		CapacityPercent: 30,
+		EdgeP:           0.3,
+		Seed:            seed,
+	}
+}
+
+// Medium returns a configuration big enough for behavioural comparisons.
+func Medium(seed int64) InstanceConfig {
+	return InstanceConfig{
+		Servers:         48,
+		Objects:         300,
+		Requests:        60000,
+		RWRatio:         0.85,
+		CapacityPercent: 25,
+		EdgeP:           0.3,
+		Seed:            seed,
+	}
+}
+
+// Build constructs a complete replication problem from the configuration.
+func Build(cfg InstanceConfig) (*replication.Problem, error) {
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Servers:  cfg.Servers,
+		Objects:  cfg.Objects,
+		Requests: cfg.Requests,
+		RWRatio:  cfg.RWRatio,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("testutil: workload: %w", err)
+	}
+	r := stats.NewRNG(stats.Mix64(cfg.Seed, 101))
+	g, err := topology.Random(cfg.Servers, cfg.EdgeP, topology.DefaultWeights, r)
+	if err != nil {
+		return nil, fmt.Errorf("testutil: topology: %w", err)
+	}
+	caps, err := replication.GenerateCapacities(w, cfg.CapacityPercent, r)
+	if err != nil {
+		return nil, fmt.Errorf("testutil: capacities: %w", err)
+	}
+	return replication.NewProblem(topology.AllPairs(g, 0), w, caps)
+}
+
+// MustBuild is Build for tests that treat construction failure as fatal.
+func MustBuild(cfg InstanceConfig) *replication.Problem {
+	p, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,176 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// DistMatrix is the dense all-pairs shortest-path matrix c(i,j) of a graph:
+// the communication cost of moving one simple data unit between servers i
+// and j. It is symmetric with a zero diagonal. Entries are int32 (paper
+// costs are small positive integers; path sums stay well inside int32 for
+// any graph this package generates).
+type DistMatrix struct {
+	n int
+	d []int32 // row-major n*n
+}
+
+// Infinity marks an unreachable pair. Generators in this package always
+// return connected graphs, so user code normally never sees it.
+const Infinity int32 = math.MaxInt32
+
+// N reports the node count.
+func (m *DistMatrix) N() int { return m.n }
+
+// At returns c(i,j).
+func (m *DistMatrix) At(i, j int) int32 { return m.d[i*m.n+j] }
+
+// Row returns the i-th row as a shared slice; callers must not mutate it.
+func (m *DistMatrix) Row(i int) []int32 { return m.d[i*m.n : (i+1)*m.n] }
+
+// MaxFinite returns the largest finite entry (the weighted diameter).
+func (m *DistMatrix) MaxFinite() int32 {
+	var max int32
+	for _, v := range m.d {
+		if v != Infinity && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Validate checks the metric invariants: zero diagonal, symmetry, and the
+// triangle inequality (the latter only up to sampleLimit rows to keep the
+// check affordable on big instances; pass n for an exhaustive check).
+func (m *DistMatrix) Validate(sampleLimit int) error {
+	for i := 0; i < m.n; i++ {
+		if m.At(i, i) != 0 {
+			return fmt.Errorf("topology: nonzero diagonal at %d: %d", i, m.At(i, i))
+		}
+		for j := i + 1; j < m.n; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				return fmt.Errorf("topology: asymmetric distance (%d,%d): %d vs %d", i, j, m.At(i, j), m.At(j, i))
+			}
+		}
+	}
+	lim := sampleLimit
+	if lim > m.n {
+		lim = m.n
+	}
+	for i := 0; i < lim; i++ {
+		for j := 0; j < m.n; j++ {
+			for k := 0; k < lim; k++ {
+				a, b, c := m.At(i, j), m.At(i, k), m.At(k, j)
+				if a == Infinity || b == Infinity || c == Infinity {
+					continue
+				}
+				if int64(a) > int64(b)+int64(c) {
+					return fmt.Errorf("topology: triangle violation d(%d,%d)=%d > d(%d,%d)+d(%d,%d)=%d",
+						i, j, a, i, k, k, j, int64(b)+int64(c))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AllPairs computes the all-pairs shortest-path matrix with one Dijkstra per
+// source, fanned out over a worker pool. workers <= 0 selects GOMAXPROCS.
+func AllPairs(g *Graph, workers int) *DistMatrix {
+	n := g.N()
+	m := &DistMatrix{n: n, d: make([]int32, n*n)}
+	if n == 0 {
+		return m
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	src := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker scratch reused across sources.
+			scratch := newDijkstraScratch(n)
+			for s := range src {
+				scratch.run(g, s, m.Row(s))
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		src <- s
+	}
+	close(src)
+	wg.Wait()
+	return m
+}
+
+// dijkstraScratch holds reusable per-worker buffers for Dijkstra runs.
+type dijkstraScratch struct {
+	visited []bool
+	pq      pqueue
+}
+
+func newDijkstraScratch(n int) *dijkstraScratch {
+	return &dijkstraScratch{
+		visited: make([]bool, n),
+		pq:      make(pqueue, 0, n),
+	}
+}
+
+// run fills dist with single-source shortest paths from s.
+func (sc *dijkstraScratch) run(g *Graph, s int, dist []int32) {
+	for i := range dist {
+		dist[i] = Infinity
+		sc.visited[i] = false
+	}
+	dist[s] = 0
+	sc.pq = sc.pq[:0]
+	heap.Push(&sc.pq, pqItem{node: int32(s), dist: 0})
+	for sc.pq.Len() > 0 {
+		it := heap.Pop(&sc.pq).(pqItem)
+		u := int(it.node)
+		if sc.visited[u] {
+			continue
+		}
+		sc.visited[u] = true
+		du := dist[u]
+		for _, e := range g.Neighbors(u) {
+			v := int(e.To)
+			if sc.visited[v] {
+				continue
+			}
+			nd := du + e.Weight
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(&sc.pq, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+}
+
+type pqItem struct {
+	node int32
+	dist int32
+}
+
+type pqueue []pqItem
+
+func (q pqueue) Len() int            { return len(q) }
+func (q pqueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pqueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pqueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

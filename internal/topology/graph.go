@@ -1,0 +1,182 @@
+// Package topology builds the network substrate of the distributed system:
+// the server interconnect graphs the paper draws from GT-ITM and Inet, and
+// the all-pairs communication cost matrix c(i,j) defined in Section 2 of the
+// paper (shortest-path sums over link costs, symmetric, integer).
+//
+// The paper's experimental setups use flat random graphs G(M, p) with
+// p ∈ {0.4 .. 0.8} (the GT-ITM "pure random" method), plus Inet-estimated
+// AS-level topologies (power-law). This package implements both families
+// from scratch, along with Waxman and transit-stub generators and small
+// deterministic fixtures for tests.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one directed half of an undirected link.
+type Edge struct {
+	To     int32
+	Weight int32
+}
+
+// Graph is an undirected weighted multigraph-free adjacency structure. Edge
+// weights are the positive integer communication costs of transferring one
+// simple data unit across the link, as in Section 2 of the paper.
+type Graph struct {
+	adj [][]Edge
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("topology: negative node count")
+	}
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// N reports the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Neighbors returns the adjacency list of node u. The returned slice must
+// not be mutated.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// AddEdge inserts an undirected edge between u and v with weight w. Adding
+// a duplicate or self edge, a non-positive weight, or an out-of-range
+// endpoint is an error.
+func (g *Graph) AddEdge(u, v int, w int32) error {
+	if u == v {
+		return fmt.Errorf("topology: self edge at node %d", u)
+	}
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		return fmt.Errorf("topology: edge (%d,%d) out of range [0,%d)", u, v, g.N())
+	}
+	if w <= 0 {
+		return fmt.Errorf("topology: edge (%d,%d) needs positive weight, got %d", u, v, w)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("topology: duplicate edge (%d,%d)", u, v)
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: int32(v), Weight: w})
+	g.adj[v] = append(g.adj[v], Edge{To: int32(u), Weight: w})
+	return nil
+}
+
+// HasEdge reports whether an undirected edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, e := range g.adj[u] {
+		if int(e.To) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges reports the number of undirected edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// DegreeSequence returns the sorted (descending) degree sequence.
+func (g *Graph) DegreeSequence() []int {
+	ds := make([]int, g.N())
+	for u := range g.adj {
+		ds[u] = len(g.adj[u])
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}
+
+// Connected reports whether the graph is connected (true for the empty and
+// single-node graphs).
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	return len(g.component(0)) == n
+}
+
+// component returns the set of nodes reachable from start via BFS.
+func (g *Graph) component(start int) []int {
+	seen := make([]bool, g.N())
+	queue := []int{start}
+	seen[start] = true
+	var out []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		out = append(out, u)
+		for _, e := range g.adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, int(e.To))
+			}
+		}
+	}
+	return out
+}
+
+// Components returns all connected components as node lists.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for u := 0; u < g.N(); u++ {
+		if seen[u] {
+			continue
+		}
+		comp := g.component(u)
+		for _, v := range comp {
+			seen[v] = true
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Validate checks structural invariants: symmetric adjacency, positive
+// weights, no self or duplicate edges.
+func (g *Graph) Validate() error {
+	for u, a := range g.adj {
+		seen := make(map[int32]bool, len(a))
+		for _, e := range a {
+			if int(e.To) == u {
+				return fmt.Errorf("topology: self edge at node %d", u)
+			}
+			if e.To < 0 || int(e.To) >= g.N() {
+				return fmt.Errorf("topology: node %d has edge to out-of-range %d", u, e.To)
+			}
+			if e.Weight <= 0 {
+				return fmt.Errorf("topology: edge (%d,%d) has non-positive weight %d", u, e.To, e.Weight)
+			}
+			if seen[e.To] {
+				return fmt.Errorf("topology: duplicate edge (%d,%d)", u, e.To)
+			}
+			seen[e.To] = true
+			// Symmetry: the reverse edge must exist with the same weight.
+			found := false
+			for _, re := range g.adj[e.To] {
+				if int(re.To) == u {
+					if re.Weight != e.Weight {
+						return fmt.Errorf("topology: asymmetric weight on edge (%d,%d): %d vs %d", u, e.To, e.Weight, re.Weight)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("topology: missing reverse edge for (%d,%d)", u, e.To)
+			}
+		}
+	}
+	return nil
+}

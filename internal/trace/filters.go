@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper's log-processing pipeline ("we wrote a script that returned:
+// only those objects which were present in all the logs, ... From this log
+// we chose the top five hundred clients"): these filters reproduce it over
+// the synthetic traces.
+
+// TopClients returns the ids of the n clients with the most requests,
+// busiest first (ties break toward the lower id).
+func (l *Log) TopClients(n int) []int32 {
+	counts := make([]int64, l.Clients)
+	for _, e := range l.Events {
+		counts[e.Client]++
+	}
+	ids := make([]int32, l.Clients)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if counts[ids[a]] != counts[ids[b]] {
+			return counts[ids[a]] > counts[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return ids[:n]
+}
+
+// FilterClients keeps only the events of the given clients, renumbering
+// them densely in the order supplied. The catalogue is unchanged.
+func (l *Log) FilterClients(keep []int32) (*Log, error) {
+	renumber := make(map[int32]int32, len(keep))
+	for newID, old := range keep {
+		if old < 0 || old >= l.Clients {
+			return nil, fmt.Errorf("trace: client %d out of range [0,%d)", old, l.Clients)
+		}
+		if _, dup := renumber[old]; dup {
+			return nil, fmt.Errorf("trace: client %d listed twice", old)
+		}
+		renumber[old] = int32(newID)
+	}
+	out := &Log{
+		Objects:     l.Objects,
+		Clients:     int32(len(keep)),
+		ObjectSizes: append([]int32(nil), l.ObjectSizes...),
+	}
+	for _, e := range l.Events {
+		if newID, ok := renumber[e.Client]; ok {
+			e.Client = newID
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out, nil
+}
+
+// CommonObjects returns the object ids present (requested at least once)
+// in every one of the given logs, ascending. All logs must share a
+// catalogue size.
+func CommonObjects(logs []*Log) ([]int32, error) {
+	if len(logs) == 0 {
+		return nil, fmt.Errorf("trace: CommonObjects needs at least one log")
+	}
+	n := logs[0].Objects
+	for i, l := range logs {
+		if l.Objects != n {
+			return nil, fmt.Errorf("trace: log %d has %d objects, log 0 has %d", i, l.Objects, n)
+		}
+	}
+	count := make([]int, n)
+	for _, l := range logs {
+		seen := make([]bool, n)
+		for _, e := range l.Events {
+			seen[e.Object] = true
+		}
+		for k, s := range seen {
+			if s {
+				count[k]++
+			}
+		}
+	}
+	var out []int32
+	for k, c := range count {
+		if c == len(logs) {
+			out = append(out, int32(k))
+		}
+	}
+	return out, nil
+}
+
+// FilterObjects keeps only the events touching the given objects,
+// renumbering objects densely in the order supplied and shrinking the
+// catalogue accordingly.
+func (l *Log) FilterObjects(keep []int32) (*Log, error) {
+	renumber := make(map[int32]int32, len(keep))
+	sizes := make([]int32, 0, len(keep))
+	for newID, old := range keep {
+		if old < 0 || old >= l.Objects {
+			return nil, fmt.Errorf("trace: object %d out of range [0,%d)", old, l.Objects)
+		}
+		if _, dup := renumber[old]; dup {
+			return nil, fmt.Errorf("trace: object %d listed twice", old)
+		}
+		renumber[old] = int32(newID)
+		sizes = append(sizes, l.ObjectSizes[old])
+	}
+	out := &Log{
+		Objects:     int32(len(keep)),
+		Clients:     l.Clients,
+		ObjectSizes: sizes,
+	}
+	for _, e := range l.Events {
+		if newID, ok := renumber[e.Object]; ok {
+			e.Object = newID
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out, nil
+}
+
+// PaperPipeline applies the paper's whole preprocessing chain to a set of
+// Friday logs: restrict every log to the objects present in all of them,
+// then to the top n clients of each log. It returns one processed log per
+// input.
+func PaperPipeline(logs []*Log, topClients int) ([]*Log, error) {
+	common, err := CommonObjects(logs)
+	if err != nil {
+		return nil, err
+	}
+	if len(common) == 0 {
+		return nil, fmt.Errorf("trace: no objects common to all %d logs", len(logs))
+	}
+	out := make([]*Log, len(logs))
+	for i, l := range logs {
+		restricted, err := l.FilterObjects(common)
+		if err != nil {
+			return nil, err
+		}
+		top := restricted.TopClients(topClients)
+		out[i], err = restricted.FilterClients(top)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

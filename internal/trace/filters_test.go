@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestTopClients(t *testing.T) {
+	l := &Log{Objects: 1, Clients: 4, ObjectSizes: []int32{1}}
+	// client 2: 3 events, client 0: 2, client 3: 1, client 1: 0.
+	for _, c := range []int32{2, 0, 2, 3, 2, 0} {
+		l.Events = append(l.Events, Event{Client: c, Object: 0, Size: 1})
+	}
+	top := l.TopClients(2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 0 {
+		t.Fatalf("TopClients = %v", top)
+	}
+	all := l.TopClients(99)
+	if len(all) != 4 {
+		t.Fatalf("clamped TopClients = %v", all)
+	}
+	// Tie between 1-event and 0-event clients resolved by id.
+	if all[2] != 3 || all[3] != 1 {
+		t.Fatalf("tie break wrong: %v", all)
+	}
+}
+
+func TestFilterClients(t *testing.T) {
+	l := &Log{Objects: 1, Clients: 3, ObjectSizes: []int32{5}}
+	l.Events = []Event{
+		{Client: 0, Object: 0, Size: 5},
+		{Client: 1, Object: 0, Size: 5},
+		{Client: 2, Object: 0, Size: 5},
+		{Client: 1, Object: 0, Size: 5},
+	}
+	out, err := l.FilterClients([]int32{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Clients != 2 || len(out.Events) != 3 {
+		t.Fatalf("filtered: clients=%d events=%d", out.Clients, len(out.Events))
+	}
+	// Client 2 renumbered to 0, client 1 to 1.
+	if out.Events[0].Client != 1 || out.Events[1].Client != 0 {
+		t.Fatalf("renumbering wrong: %+v", out.Events)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.FilterClients([]int32{7}); err == nil {
+		t.Fatal("out-of-range client accepted")
+	}
+	if _, err := l.FilterClients([]int32{1, 1}); err == nil {
+		t.Fatal("duplicate client accepted")
+	}
+}
+
+func TestCommonObjects(t *testing.T) {
+	a := &Log{Objects: 4, Clients: 1, ObjectSizes: []int32{1, 1, 1, 1}}
+	a.Events = []Event{{Object: 0, Size: 1}, {Object: 1, Size: 1}, {Object: 3, Size: 1}}
+	b := &Log{Objects: 4, Clients: 1, ObjectSizes: []int32{1, 1, 1, 1}}
+	b.Events = []Event{{Object: 1, Size: 1}, {Object: 2, Size: 1}, {Object: 3, Size: 1}}
+	common, err := CommonObjects([]*Log{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(common) != 2 || common[0] != 1 || common[1] != 3 {
+		t.Fatalf("common = %v", common)
+	}
+	if _, err := CommonObjects(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	c := &Log{Objects: 5, Clients: 1, ObjectSizes: []int32{1, 1, 1, 1, 1}}
+	if _, err := CommonObjects([]*Log{a, c}); err == nil {
+		t.Fatal("mismatched catalogues accepted")
+	}
+}
+
+func TestFilterObjects(t *testing.T) {
+	l := &Log{Objects: 3, Clients: 1, ObjectSizes: []int32{10, 20, 30}}
+	l.Events = []Event{
+		{Object: 0, Size: 10},
+		{Object: 2, Size: 30},
+		{Object: 1, Size: 20},
+		{Object: 2, Size: 30},
+	}
+	out, err := l.FilterObjects([]int32{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Objects != 2 || len(out.Events) != 3 {
+		t.Fatalf("filtered: objects=%d events=%d", out.Objects, len(out.Events))
+	}
+	if out.ObjectSizes[0] != 30 || out.ObjectSizes[1] != 10 {
+		t.Fatalf("sizes not remapped: %v", out.ObjectSizes)
+	}
+	// Object 2 -> 0, object 0 -> 1; sizes follow.
+	if out.Events[0].Object != 1 || out.Events[1].Object != 0 {
+		t.Fatalf("renumbering wrong: %+v", out.Events)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.FilterObjects([]int32{5}); err == nil {
+		t.Fatal("out-of-range object accepted")
+	}
+	if _, err := l.FilterObjects([]int32{0, 0}); err == nil {
+		t.Fatal("duplicate object accepted")
+	}
+}
+
+func TestPaperPipeline(t *testing.T) {
+	logs, err := Fridays(Config{
+		Objects: 300, Clients: 80, Events: 8000, Seed: 5,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	processed, err := PaperPipeline(logs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(processed) != 4 {
+		t.Fatalf("got %d processed logs", len(processed))
+	}
+	for i, p := range processed {
+		if p.Clients != 20 {
+			t.Fatalf("log %d: %d clients, want 20", i, p.Clients)
+		}
+		if p.Objects == 0 || p.Objects > 300 {
+			t.Fatalf("log %d: %d objects", i, p.Objects)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("log %d: %v", i, err)
+		}
+		if p.Objects != processed[0].Objects {
+			t.Fatal("processed logs disagree on the common catalogue")
+		}
+	}
+	// Every retained object must appear in every processed log's events? No —
+	// common objects are common to the *originals*; after client filtering
+	// some may vanish. But the catalogue must be the common set.
+	common, err := CommonObjects(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(processed[0].Objects) != len(common) {
+		t.Fatalf("catalogue %d != common set %d", processed[0].Objects, len(common))
+	}
+}
+
+func TestPaperPipelineNoCommon(t *testing.T) {
+	a := &Log{Objects: 2, Clients: 1, ObjectSizes: []int32{1, 1},
+		Events: []Event{{Object: 0, Size: 1}}}
+	b := &Log{Objects: 2, Clients: 1, ObjectSizes: []int32{1, 1},
+		Events: []Event{{Object: 1, Size: 1}}}
+	if _, err := PaperPipeline([]*Log{a, b}, 1); err == nil {
+		t.Fatal("disjoint logs accepted")
+	}
+}

@@ -1,0 +1,316 @@
+// Package trace generates and encodes synthetic web-access traces that stand
+// in for the Soccer World Cup 1998 logs the paper replays (Section 5). The
+// real logs are not redistributable; the generator preserves the properties
+// the replica-placement algorithms are sensitive to:
+//
+//   - Zipf-skewed object popularity (a few objects draw most requests),
+//   - lognormal object sizes with controllable mean and variance,
+//   - a heavy-tailed request count per client (top clients dominate),
+//   - a configurable write (update) share pushed onto random clients,
+//   - multiple "Friday" instances derived from one base configuration,
+//     mirroring the paper's 13 Friday logs from May 1 to July 24, 1998.
+//
+// Traces can be serialized to a compact binary format and to an Apache
+// common-log-style text format; both round-trip.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Event is one logged request.
+type Event struct {
+	Time   uint32 // seconds since trace start
+	Client int32  // client id in [0, Clients)
+	Object int32  // object id in [0, Objects)
+	Size   int32  // object size in simple data units (constant per object)
+	Write  bool   // true for an update (POST/PUT), false for a read (GET)
+}
+
+// Log is a complete trace plus its static object catalogue.
+type Log struct {
+	Objects     int32
+	Clients     int32
+	ObjectSizes []int32 // size per object id, len == Objects
+	Events      []Event // time-ordered
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	Objects    int     // catalogue size (paper: 25,000)
+	Clients    int     // distinct clients (paper: top 500)
+	Events     int     // total requests (paper: 1-2 million per Friday)
+	ZipfS      float64 // popularity skew exponent (default 1.1)
+	MeanSize   float64 // mean object size in data units (default 8)
+	SizeStd    float64 // std-dev of object size (default 12)
+	WriteRatio float64 // fraction of events that are writes (default 0.05)
+	ClientSkew float64 // bounded-Pareto alpha for per-client volume (default 1.2)
+	Duration   uint32  // trace duration in seconds (default 86400, one day)
+	// DiurnalAmplitude in [0, 1) modulates request intensity over the day
+	// with a sinusoid peaking mid-trace, as in the World Cup logs' strong
+	// diurnal cycle. 0 (default) spreads events uniformly.
+	DiurnalAmplitude float64
+	Seed             int64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.MeanSize == 0 {
+		c.MeanSize = 8
+	}
+	if c.SizeStd == 0 {
+		c.SizeStd = 12
+	}
+	if c.WriteRatio == 0 {
+		c.WriteRatio = 0.05
+	}
+	if c.ClientSkew == 0 {
+		c.ClientSkew = 1.2
+	}
+	if c.Duration == 0 {
+		c.Duration = 86400
+	}
+	return c
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	if c.Objects <= 0 || c.Clients <= 0 || c.Events <= 0 {
+		return fmt.Errorf("trace: Objects, Clients and Events must be positive, got %d/%d/%d", c.Objects, c.Clients, c.Events)
+	}
+	if c.WriteRatio < 0 || c.WriteRatio >= 1 {
+		return fmt.Errorf("trace: WriteRatio must be in [0,1), got %v", c.WriteRatio)
+	}
+	if c.DiurnalAmplitude < 0 || c.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("trace: DiurnalAmplitude must be in [0,1), got %v", c.DiurnalAmplitude)
+	}
+	if c.ZipfS < 0 {
+		return fmt.Errorf("trace: ZipfS must be >= 0, got %v", c.ZipfS)
+	}
+	return nil
+}
+
+// Generate produces one synthetic trace.
+func Generate(cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := stats.NewRNG(cfg.Seed)
+	sizeRNG := root.Split(1)
+	popRNG := root.Split(2)
+	cliRNG := root.Split(3)
+	evtRNG := root.Split(4)
+
+	// Object catalogue: lognormal sizes, clamped to >= 1 data unit.
+	ln, err := stats.LognormalFromMeanStd(cfg.MeanSize, cfg.SizeStd)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int32, cfg.Objects)
+	for k := range sizes {
+		s := int32(ln.Sample(sizeRNG))
+		if s < 1 {
+			s = 1
+		}
+		sizes[k] = s
+	}
+
+	// Popularity: Zipf over a random permutation of object ids, so object id
+	// order carries no popularity information.
+	zipf, err := stats.NewZipf(popRNG, cfg.ZipfS, uint64(cfg.Objects))
+	if err != nil {
+		return nil, err
+	}
+	rankToObject := popRNG.Perm32(cfg.Objects)
+
+	// Per-client volume: bounded Pareto weights, then a weighted sampler.
+	weights := make([]float64, cfg.Clients)
+	pareto := stats.Pareto{Alpha: cfg.ClientSkew, Lo: 1, Hi: 1000}
+	total := 0.0
+	for i := range weights {
+		weights[i] = pareto.Sample(cliRNG)
+		total += weights[i]
+	}
+	cum := make([]float64, cfg.Clients)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	sampleClient := func() int32 {
+		u := evtRNG.Float64()
+		idx := sort.SearchFloat64s(cum, u)
+		if idx >= cfg.Clients {
+			idx = cfg.Clients - 1
+		}
+		return int32(idx)
+	}
+
+	clock := newArrivalClock(cfg)
+	events := make([]Event, cfg.Events)
+	for i := range events {
+		obj := rankToObject[zipf.Sample(evtRNG)]
+		events[i] = Event{
+			Time:   clock.timeOf(i, cfg.Events),
+			Client: sampleClient(),
+			Object: obj,
+			Size:   sizes[obj],
+			Write:  evtRNG.Bool(cfg.WriteRatio),
+		}
+	}
+	return &Log{
+		Objects:     int32(cfg.Objects),
+		Clients:     int32(cfg.Clients),
+		ObjectSizes: sizes,
+		Events:      events,
+	}, nil
+}
+
+// Fridays generates n independent trace instances from one base config,
+// mirroring the paper's 13 Friday logs: same catalogue shape, different
+// request streams.
+func Fridays(cfg Config, n int) ([]*Log, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: Fridays needs n > 0, got %d", n)
+	}
+	logs := make([]*Log, n)
+	for i := range logs {
+		c := cfg
+		c.Seed = stats.Mix64(cfg.Seed, int64(i+1))
+		log, err := Generate(c)
+		if err != nil {
+			return nil, err
+		}
+		logs[i] = log
+	}
+	return logs, nil
+}
+
+// Stats summarizes a trace for validation and reporting.
+type Stats struct {
+	Events        int
+	Reads, Writes int
+	WriteRatio    float64
+	DistinctObjs  int
+	TopObjShare   float64 // share of requests to the single hottest object
+	SizeMean      float64
+	SizeStd       float64
+	ClientGini    float64 // inequality of per-client request counts
+}
+
+// Summarize computes trace statistics.
+func (l *Log) Summarize() Stats {
+	s := Stats{Events: len(l.Events)}
+	objCount := make(map[int32]int)
+	cliCount := make([]float64, l.Clients)
+	for _, e := range l.Events {
+		if e.Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		objCount[e.Object]++
+		cliCount[e.Client]++
+	}
+	if s.Events > 0 {
+		s.WriteRatio = float64(s.Writes) / float64(s.Events)
+	}
+	s.DistinctObjs = len(objCount)
+	top := 0
+	for _, c := range objCount {
+		if c > top {
+			top = c
+		}
+	}
+	if s.Events > 0 {
+		s.TopObjShare = float64(top) / float64(s.Events)
+	}
+	sizes := make([]float64, len(l.ObjectSizes))
+	for i, v := range l.ObjectSizes {
+		sizes[i] = float64(v)
+	}
+	s.SizeMean = stats.Mean(sizes)
+	s.SizeStd = stats.Std(sizes)
+	s.ClientGini = stats.GiniCoefficient(cliCount)
+	return s
+}
+
+// Validate checks internal consistency of the log.
+func (l *Log) Validate() error {
+	if int32(len(l.ObjectSizes)) != l.Objects {
+		return fmt.Errorf("trace: ObjectSizes length %d != Objects %d", len(l.ObjectSizes), l.Objects)
+	}
+	var prev uint32
+	for i, e := range l.Events {
+		if e.Object < 0 || e.Object >= l.Objects {
+			return fmt.Errorf("trace: event %d references object %d outside [0,%d)", i, e.Object, l.Objects)
+		}
+		if e.Client < 0 || e.Client >= l.Clients {
+			return fmt.Errorf("trace: event %d references client %d outside [0,%d)", i, e.Client, l.Clients)
+		}
+		if e.Size != l.ObjectSizes[e.Object] {
+			return fmt.Errorf("trace: event %d size %d != catalogue size %d", i, e.Size, l.ObjectSizes[e.Object])
+		}
+		if e.Time < prev {
+			return fmt.Errorf("trace: event %d out of time order", i)
+		}
+		prev = e.Time
+	}
+	return nil
+}
+
+// arrivalClock maps event quantiles to timestamps. With no diurnal
+// modulation, events spread uniformly; otherwise the i-th event lands at
+// the i/N quantile of the sinusoidal intensity
+// λ(t) = 1 + A·sin(2πt/D − π/2), which troughs at the trace start
+// (midnight) and peaks mid-trace (noon).
+type arrivalClock struct {
+	duration uint32
+	cdf      []float64 // cumulative intensity over fixed bins; nil = uniform
+}
+
+func newArrivalClock(cfg Config) arrivalClock {
+	c := arrivalClock{duration: cfg.Duration}
+	if cfg.DiurnalAmplitude == 0 {
+		return c
+	}
+	const bins = 1 << 12
+	c.cdf = make([]float64, bins)
+	acc := 0.0
+	for b := 0; b < bins; b++ {
+		t := (float64(b) + 0.5) / bins
+		acc += 1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*t-math.Pi/2)
+		c.cdf[b] = acc
+	}
+	for b := range c.cdf {
+		c.cdf[b] /= acc
+	}
+	return c
+}
+
+// timeOf returns the timestamp of event i of n. Timestamps are
+// non-decreasing in i by construction.
+func (c arrivalClock) timeOf(i, n int) uint32 {
+	q := (float64(i) + 0.5) / float64(n)
+	if c.cdf == nil {
+		return uint32(q * float64(c.duration))
+	}
+	lo, hi := 0, len(c.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cdf[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(float64(lo) / float64(len(c.cdf)) * float64(c.duration))
+}

@@ -1,0 +1,412 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Objects:    200,
+		Clients:    50,
+		Events:     5000,
+		WriteRatio: 0.1,
+		Seed:       seed,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	l, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Events) != 5000 {
+		t.Fatalf("got %d events, want 5000", len(l.Events))
+	}
+	if l.Objects != 200 || l.Clients != 50 {
+		t.Fatalf("catalogue sizes wrong: %d/%d", l.Objects, l.Clients)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event counts differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(smallConfig(1))
+	b, _ := Generate(smallConfig(2))
+	same := 0
+	for i := range a.Events {
+		if a.Events[i] == b.Events[i] {
+			same++
+		}
+	}
+	if same == len(a.Events) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateWriteRatio(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.Events = 50000
+	cfg.WriteRatio = 0.2
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Summarize()
+	if math.Abs(s.WriteRatio-0.2) > 0.02 {
+		t.Fatalf("write ratio %v too far from 0.2", s.WriteRatio)
+	}
+}
+
+func TestGenerateSkew(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.Events = 50000
+	cfg.ZipfS = 1.2
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Summarize()
+	if s.TopObjShare < 0.05 {
+		t.Fatalf("hottest object share %v — trace not Zipf-skewed", s.TopObjShare)
+	}
+	if s.ClientGini < 0.2 {
+		t.Fatalf("client Gini %v — per-client volume not heavy-tailed", s.ClientGini)
+	}
+}
+
+func TestGenerateSizeModel(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.Objects = 5000
+	cfg.MeanSize = 20
+	cfg.SizeStd = 30
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Summarize()
+	if math.Abs(s.SizeMean-20) > 4 {
+		t.Fatalf("size mean %v too far from 20", s.SizeMean)
+	}
+	if s.SizeStd < 10 {
+		t.Fatalf("size std %v — sizes should be spread", s.SizeStd)
+	}
+	for _, sz := range l.ObjectSizes {
+		if sz < 1 {
+			t.Fatalf("object size %d below 1", sz)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []Config{
+		{Objects: 0, Clients: 1, Events: 1},
+		{Objects: 1, Clients: 0, Events: 1},
+		{Objects: 1, Clients: 1, Events: 0},
+		{Objects: 1, Clients: 1, Events: 1, WriteRatio: 1.0},
+		{Objects: 1, Clients: 1, Events: 1, WriteRatio: -0.1},
+		{Objects: 1, Clients: 1, Events: 1, ZipfS: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestFridays(t *testing.T) {
+	logs, err := Fridays(smallConfig(9), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 13 {
+		t.Fatalf("got %d logs, want 13", len(logs))
+	}
+	// Instances must differ from each other but share the catalogue shape.
+	if logs[0].Objects != logs[1].Objects {
+		t.Fatal("Friday catalogues differ in size")
+	}
+	identical := true
+	for i := range logs[0].Events {
+		if logs[0].Events[i] != logs[1].Events[i] {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("two Fridays are identical")
+	}
+	if _, err := Fridays(smallConfig(9), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	l, err := Generate(smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLogsEqual(t, l, got)
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write([]byte{9, 9})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	l, err := Generate(smallConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestCLFRoundTrip(t *testing.T) {
+	cfg := smallConfig(13)
+	cfg.Events = 500
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteCLF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCLF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLogsEqual(t, l, got)
+}
+
+func TestCLFParseErrors(t *testing.T) {
+	cases := []string{
+		"clientX - - [5] \"GET /object/1 HTTP/1.0\" 200 10",
+		"client1 - - [bad] \"GET /object/1 HTTP/1.0\" 200 10",
+		"client1 - - [5] \"DELETE /object/1 HTTP/1.0\" 200 10",
+		"client1 - - [5] \"GET /objekt/1 HTTP/1.0\" 200 10",
+		"client1 - - [5] \"GET /object/1 HTTP/1.0\" 200 big",
+		"too few fields",
+	}
+	for _, line := range cases {
+		in := "# objects=2 clients=2\n# size 0 10\n# size 1 10\n" + line + "\n"
+		if _, err := ReadCLF(strings.NewReader(in)); err == nil {
+			t.Errorf("bad line accepted: %q", line)
+		}
+	}
+}
+
+func TestCLFHeaderMismatch(t *testing.T) {
+	in := "# objects=3 clients=2\n# size 0 10\n"
+	if _, err := ReadCLF(strings.NewReader(in)); err == nil {
+		t.Fatal("size/header mismatch accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	l, err := Generate(smallConfig(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Events[0].Object = l.Objects + 5
+	if err := l.Validate(); err == nil {
+		t.Fatal("out-of-range object not caught")
+	}
+	l, _ = Generate(smallConfig(14))
+	l.Events[0].Size = l.Events[0].Size + 1
+	if err := l.Validate(); err == nil {
+		t.Fatal("size mismatch not caught")
+	}
+	l, _ = Generate(smallConfig(14))
+	if len(l.Events) > 1 {
+		l.Events[len(l.Events)-1].Time = 0
+		l.Events[0].Time = 100
+		if err := l.Validate(); err == nil {
+			t.Fatal("time disorder not caught")
+		}
+	}
+}
+
+// Property: binary round trip is identity for arbitrary small configs.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, rawObj, rawCli, rawEvt uint8) bool {
+		cfg := Config{
+			Objects: int(rawObj%50) + 1,
+			Clients: int(rawCli%20) + 1,
+			Events:  int(rawEvt%100) + 1,
+			Seed:    seed,
+		}
+		l, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := l.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Objects != l.Objects || got.Clients != l.Clients || len(got.Events) != len(l.Events) {
+			return false
+		}
+		for i := range l.Events {
+			if l.Events[i] != got.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertLogsEqual(t *testing.T, want, got *Log) {
+	t.Helper()
+	if got.Objects != want.Objects || got.Clients != want.Clients {
+		t.Fatalf("catalogue mismatch: %d/%d vs %d/%d", got.Objects, got.Clients, want.Objects, want.Clients)
+	}
+	if len(got.ObjectSizes) != len(want.ObjectSizes) {
+		t.Fatalf("sizes length mismatch")
+	}
+	for i := range want.ObjectSizes {
+		if got.ObjectSizes[i] != want.ObjectSizes[i] {
+			t.Fatalf("size %d mismatch", i)
+		}
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("event count mismatch: %d vs %d", len(got.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+func TestDiurnalPattern(t *testing.T) {
+	cfg := smallConfig(30)
+	cfg.Events = 100000
+	cfg.DiurnalAmplitude = 0.8
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket events into 24 "hours"; the noon bucket must carry far more
+	// traffic than the midnight bucket, near the (1+A)/(1-A) intensity ratio.
+	var buckets [24]int
+	for _, e := range l.Events {
+		h := int(uint64(e.Time) * 24 / 86400)
+		if h > 23 {
+			h = 23
+		}
+		buckets[h]++
+	}
+	peak := buckets[12] + buckets[11]
+	trough := buckets[0] + buckets[23]
+	if trough == 0 || float64(peak)/float64(trough) < 3 {
+		t.Fatalf("diurnal cycle too weak: peak %d vs trough %d", peak, trough)
+	}
+}
+
+func TestDiurnalZeroIsUniform(t *testing.T) {
+	cfg := smallConfig(31)
+	cfg.Events = 48000
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buckets [24]int
+	for _, e := range l.Events {
+		h := int(uint64(e.Time) * 24 / 86400)
+		if h > 23 {
+			h = 23
+		}
+		buckets[h]++
+	}
+	for h, c := range buckets {
+		if c < 1500 || c > 2500 {
+			t.Fatalf("uniform trace skewed at hour %d: %d events", h, c)
+		}
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	cfg := smallConfig(32)
+	cfg.DiurnalAmplitude = 1.0
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("amplitude 1.0 accepted")
+	}
+	cfg.DiurnalAmplitude = -0.1
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("negative amplitude accepted")
+	}
+}
+
+func TestBinaryHostileHeader(t *testing.T) {
+	// A header declaring 2^24+ objects must be rejected before allocation.
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write([]byte{1, 0})                   // version 1
+	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // objects = MaxInt32
+	buf.Write([]byte{1, 0, 0, 0})             // clients
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0}) // events
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("hostile object count accepted")
+	}
+}

@@ -1,0 +1,346 @@
+// Package workload turns an access trace (or a direct synthetic model) into
+// the demand matrices of the Data Replication Problem: per-server read and
+// write frequencies r_ik and w_ik, object sizes o_k, and primary-server
+// assignments P_k (Section 2 of the paper).
+//
+// The matrices are stored sparsely: real traces touch only a small fraction
+// of the M x N server/object pairs, and the paper's own algorithm keeps a
+// per-server candidate list L_i rather than a dense matrix.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Demand records one server's read/write frequency for one object.
+type Demand struct {
+	Object int32
+	Reads  int64
+	Writes int64
+}
+
+// Workload is the demand side of a DRP instance.
+type Workload struct {
+	M int // servers
+	N int // objects
+
+	ObjectSize []int64    // o_k, len N, all >= 1
+	Primary    []int32    // P_k, len N
+	PerServer  [][]Demand // per server, sorted by Object, at most one entry per object
+
+	// Aggregates derived by Finalize.
+	TotalReads  []int64 // per object Σ_i r_ik
+	TotalWrites []int64 // per object Σ_i w_ik
+}
+
+// New returns an empty workload for M servers and N objects.
+func New(m, n int) *Workload {
+	return &Workload{
+		M:          m,
+		N:          n,
+		ObjectSize: make([]int64, n),
+		Primary:    make([]int32, n),
+		PerServer:  make([][]Demand, m),
+	}
+}
+
+// Finalize sorts per-server demand lists and computes per-object aggregates.
+// It must be called after all demand has been added and before the workload
+// is used to build a replication problem.
+func (w *Workload) Finalize() {
+	w.TotalReads = make([]int64, w.N)
+	w.TotalWrites = make([]int64, w.N)
+	for i := range w.PerServer {
+		ds := w.PerServer[i]
+		sort.Slice(ds, func(a, b int) bool { return ds[a].Object < ds[b].Object })
+		// Merge duplicate object entries.
+		out := ds[:0]
+		for _, d := range ds {
+			if len(out) > 0 && out[len(out)-1].Object == d.Object {
+				out[len(out)-1].Reads += d.Reads
+				out[len(out)-1].Writes += d.Writes
+			} else {
+				out = append(out, d)
+			}
+		}
+		w.PerServer[i] = out
+		for _, d := range out {
+			w.TotalReads[d.Object] += d.Reads
+			w.TotalWrites[d.Object] += d.Writes
+		}
+	}
+}
+
+// Validate checks structural invariants.
+func (w *Workload) Validate() error {
+	if len(w.ObjectSize) != w.N || len(w.Primary) != w.N || len(w.PerServer) != w.M {
+		return fmt.Errorf("workload: shape mismatch: sizes=%d primaries=%d servers=%d (M=%d N=%d)",
+			len(w.ObjectSize), len(w.Primary), len(w.PerServer), w.M, w.N)
+	}
+	for k, s := range w.ObjectSize {
+		if s < 1 {
+			return fmt.Errorf("workload: object %d has size %d < 1", k, s)
+		}
+		if w.Primary[k] < 0 || int(w.Primary[k]) >= w.M {
+			return fmt.Errorf("workload: object %d primary %d out of range", k, w.Primary[k])
+		}
+	}
+	for i, ds := range w.PerServer {
+		for j, d := range ds {
+			if d.Object < 0 || int(d.Object) >= w.N {
+				return fmt.Errorf("workload: server %d demand %d references object %d", i, j, d.Object)
+			}
+			if d.Reads < 0 || d.Writes < 0 {
+				return fmt.Errorf("workload: server %d object %d has negative demand", i, d.Object)
+			}
+			if j > 0 && ds[j-1].Object >= d.Object {
+				return fmt.Errorf("workload: server %d demand list unsorted or duplicated at %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Demands returns server i's demand list (sorted by object).
+func (w *Workload) Demands(i int) []Demand { return w.PerServer[i] }
+
+// ReadsWrites returns (r_ik, w_ik) for a specific pair via binary search.
+func (w *Workload) ReadsWrites(i int, k int32) (int64, int64) {
+	ds := w.PerServer[i]
+	idx := sort.Search(len(ds), func(j int) bool { return ds[j].Object >= k })
+	if idx < len(ds) && ds[idx].Object == k {
+		return ds[idx].Reads, ds[idx].Writes
+	}
+	return 0, 0
+}
+
+// TotalPrimarySize returns Σ_k o_k, the figure the paper scales server
+// capacities against.
+func (w *Workload) TotalPrimarySize() int64 {
+	var total int64
+	for _, s := range w.ObjectSize {
+		total += s
+	}
+	return total
+}
+
+// ClientMap maps trace clients onto servers. The paper performs a random
+// 1-M (not 1-1) mapping of the top clients onto topology nodes to obtain a
+// skewed workload.
+type ClientMap []int32
+
+// MapClients builds a random client-to-server map. Every client is assigned
+// to a uniformly random server; multiple clients may share a server and some
+// servers may receive none, exactly the paper's 1-M mapping.
+func MapClients(clients, servers int, r *stats.RNG) (ClientMap, error) {
+	if clients <= 0 || servers <= 0 {
+		return nil, fmt.Errorf("workload: MapClients needs positive counts, got %d clients %d servers", clients, servers)
+	}
+	m := make(ClientMap, clients)
+	for c := range m {
+		m[c] = int32(r.Intn(servers))
+	}
+	return m, nil
+}
+
+// FromTrace aggregates a trace into a workload: reads and writes are counted
+// per (server, object) pair through the client map; primaries are assigned
+// to uniformly random servers ("the primary replicas' original server was
+// mimicked by choosing random locations").
+func FromTrace(l *trace.Log, cm ClientMap, servers int, r *stats.RNG) (*Workload, error) {
+	if len(cm) < int(l.Clients) {
+		return nil, fmt.Errorf("workload: client map covers %d clients, trace has %d", len(cm), l.Clients)
+	}
+	w := New(servers, int(l.Objects))
+	for k, s := range l.ObjectSizes {
+		w.ObjectSize[k] = int64(s)
+		w.Primary[k] = int32(r.Intn(servers))
+	}
+	type key struct {
+		server int32
+		object int32
+	}
+	acc := make(map[key]*Demand, len(l.Events)/4)
+	for _, e := range l.Events {
+		srv := cm[e.Client]
+		if int(srv) >= servers || srv < 0 {
+			return nil, fmt.Errorf("workload: client map sends client %d to invalid server %d", e.Client, srv)
+		}
+		kk := key{server: srv, object: e.Object}
+		d := acc[kk]
+		if d == nil {
+			d = &Demand{Object: e.Object}
+			acc[kk] = d
+		}
+		if e.Write {
+			d.Writes++
+		} else {
+			d.Reads++
+		}
+	}
+	for kk, d := range acc {
+		w.PerServer[kk.server] = append(w.PerServer[kk.server], *d)
+	}
+	w.Finalize()
+	return w, nil
+}
+
+// SyntheticConfig parameterizes a direct (trace-free) workload model used by
+// the experiment harness, where the read/write ratio and total request
+// volume are controlled exactly.
+type SyntheticConfig struct {
+	Servers  int
+	Objects  int
+	Requests int     // total request volume to distribute
+	RWRatio  float64 // fraction of requests that are reads, in (0,1]
+	ZipfS    float64 // object popularity skew (default 1.1)
+	MeanSize float64 // default 8
+	SizeStd  float64 // default 12
+	// DemandFraction is the fraction of servers that have any demand for a
+	// given object (default 0.25): real workloads never touch every pair.
+	DemandFraction float64
+	Seed           int64
+	// DemandSeed, when non-zero, reseeds only the demand side (object
+	// popularity and its spread over servers) while the catalogue — object
+	// sizes and primary assignments — stays exactly as under Seed. The
+	// adaptive extension uses this to model demand drift over a fixed
+	// system.
+	DemandSeed int64
+}
+
+// Synthetic builds a workload directly from the statistical model. The
+// request volume of each object follows a Zipf law; each object's demand is
+// spread over a random subset of servers.
+func Synthetic(cfg SyntheticConfig) (*Workload, error) {
+	if cfg.Servers <= 0 || cfg.Objects <= 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("workload: Synthetic needs positive Servers/Objects/Requests, got %d/%d/%d",
+			cfg.Servers, cfg.Objects, cfg.Requests)
+	}
+	if cfg.RWRatio <= 0 || cfg.RWRatio > 1 {
+		return nil, fmt.Errorf("workload: RWRatio must be in (0,1], got %v", cfg.RWRatio)
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.MeanSize == 0 {
+		cfg.MeanSize = 8
+	}
+	if cfg.SizeStd == 0 {
+		cfg.SizeStd = 12
+	}
+	if cfg.DemandFraction == 0 {
+		cfg.DemandFraction = 0.25
+	}
+	if cfg.DemandFraction < 0 || cfg.DemandFraction > 1 {
+		return nil, fmt.Errorf("workload: DemandFraction must be in (0,1], got %v", cfg.DemandFraction)
+	}
+	root := stats.NewRNG(cfg.Seed)
+	sizeRNG := root.Split(1)
+	primRNG := root.Split(4)
+	demandRoot := root
+	if cfg.DemandSeed != 0 {
+		demandRoot = stats.NewRNG(cfg.DemandSeed)
+	}
+	popRNG := demandRoot.Split(2)
+	demRNG := demandRoot.Split(3)
+
+	w := New(cfg.Servers, cfg.Objects)
+	ln, err := stats.LognormalFromMeanStd(cfg.MeanSize, cfg.SizeStd)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < cfg.Objects; k++ {
+		s := int64(ln.Sample(sizeRNG))
+		if s < 1 {
+			s = 1
+		}
+		w.ObjectSize[k] = s
+		w.Primary[k] = int32(primRNG.Intn(cfg.Servers))
+	}
+
+	// Distribute total request volume over objects by sampling the Zipf law.
+	zipf, err := stats.NewZipf(popRNG, cfg.ZipfS, uint64(cfg.Objects))
+	if err != nil {
+		return nil, err
+	}
+	perObject := make([]int64, cfg.Objects)
+	rankToObject := popRNG.Perm32(cfg.Objects)
+	for i := 0; i < cfg.Requests; i++ {
+		perObject[rankToObject[zipf.Sample(popRNG)]]++
+	}
+
+	// Spread each object's volume over a random server subset with a
+	// geometric (heavy-tailed) split: the top demander takes about half,
+	// the next a quarter, and so on. This mirrors the paper's skewed
+	// 1-M client-to-server mapping, where a few servers dominate each
+	// object's traffic — the regime in which replication pays off.
+	for k := 0; k < cfg.Objects; k++ {
+		vol := perObject[k]
+		if vol == 0 {
+			continue
+		}
+		nServers := int(float64(cfg.Servers)*cfg.DemandFraction + 0.5)
+		if nServers < 1 {
+			nServers = 1
+		}
+		subset := demRNG.Perm32(cfg.Servers)[:nServers]
+		reads := int64(float64(vol)*cfg.RWRatio + 0.5)
+		writes := vol - reads
+		readShares := geometricSplit(reads, nServers)
+		writeShares := geometricSplit(writes, nServers)
+		for si, srv := range subset {
+			r, wr := readShares[si], writeShares[si]
+			if r == 0 && wr == 0 {
+				continue
+			}
+			w.PerServer[srv] = append(w.PerServer[srv], Demand{Object: int32(k), Reads: r, Writes: wr})
+		}
+	}
+	w.Finalize()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ReadWriteRatio reports the realized fraction of requests that are reads.
+func (w *Workload) ReadWriteRatio() float64 {
+	var r, t int64
+	for k := 0; k < w.N; k++ {
+		r += w.TotalReads[k]
+		t += w.TotalReads[k] + w.TotalWrites[k]
+	}
+	if t == 0 {
+		return 0
+	}
+	return float64(r) / float64(t)
+}
+
+// TotalRequests reports Σ (reads + writes).
+func (w *Workload) TotalRequests() int64 {
+	var t int64
+	for k := 0; k < w.N; k++ {
+		t += w.TotalReads[k] + w.TotalWrites[k]
+	}
+	return t
+}
+
+// geometricSplit partitions total into buckets with a geometric taper: the
+// first bucket receives about half, the second a quarter, and so on, with
+// the remainder folded into the last bucket. The split is exact
+// (Σ out == total).
+func geometricSplit(total int64, buckets int) []int64 {
+	out := make([]int64, buckets)
+	rem := total
+	for j := 0; j < buckets-1 && rem > 0; j++ {
+		share := (rem + 1) / 2
+		out[j] = share
+		rem -= share
+	}
+	out[buckets-1] += rem
+	return out
+}

@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestNewAndFinalize(t *testing.T) {
+	w := New(2, 3)
+	w.ObjectSize[0], w.ObjectSize[1], w.ObjectSize[2] = 1, 2, 3
+	w.PerServer[0] = []Demand{
+		{Object: 2, Reads: 5},
+		{Object: 0, Reads: 1, Writes: 1},
+		{Object: 2, Writes: 3}, // duplicate to be merged
+	}
+	w.PerServer[1] = []Demand{{Object: 0, Reads: 4}}
+	w.Finalize()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ds := w.Demands(0)
+	if len(ds) != 2 || ds[0].Object != 0 || ds[1].Object != 2 {
+		t.Fatalf("finalize failed: %+v", ds)
+	}
+	if ds[1].Reads != 5 || ds[1].Writes != 3 {
+		t.Fatalf("duplicate merge failed: %+v", ds[1])
+	}
+	if w.TotalReads[0] != 5 || w.TotalWrites[2] != 3 {
+		t.Fatalf("aggregates wrong: reads0=%d writes2=%d", w.TotalReads[0], w.TotalWrites[2])
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	w := New(1, 5)
+	for k := range w.ObjectSize {
+		w.ObjectSize[k] = 1
+	}
+	w.PerServer[0] = []Demand{{Object: 1, Reads: 10, Writes: 2}, {Object: 3, Reads: 7}}
+	w.Finalize()
+	r, wr := w.ReadsWrites(0, 1)
+	if r != 10 || wr != 2 {
+		t.Fatalf("ReadsWrites(0,1) = %d,%d", r, wr)
+	}
+	r, wr = w.ReadsWrites(0, 2)
+	if r != 0 || wr != 0 {
+		t.Fatalf("missing pair should be zero, got %d,%d", r, wr)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	w := New(1, 1)
+	w.ObjectSize[0] = 0
+	if err := w.Validate(); err == nil {
+		t.Error("zero size accepted")
+	}
+	w = New(1, 1)
+	w.ObjectSize[0] = 1
+	w.Primary[0] = 5
+	if err := w.Validate(); err == nil {
+		t.Error("bad primary accepted")
+	}
+	w = New(1, 1)
+	w.ObjectSize[0] = 1
+	w.PerServer[0] = []Demand{{Object: 9}}
+	if err := w.Validate(); err == nil {
+		t.Error("bad object ref accepted")
+	}
+	w = New(1, 2)
+	w.ObjectSize[0], w.ObjectSize[1] = 1, 1
+	w.PerServer[0] = []Demand{{Object: 0, Reads: -1}}
+	if err := w.Validate(); err == nil {
+		t.Error("negative reads accepted")
+	}
+	w = New(1, 2)
+	w.ObjectSize[0], w.ObjectSize[1] = 1, 1
+	w.PerServer[0] = []Demand{{Object: 1}, {Object: 0}}
+	if err := w.Validate(); err == nil {
+		t.Error("unsorted list accepted")
+	}
+}
+
+func TestMapClients(t *testing.T) {
+	r := stats.NewRNG(1)
+	cm, err := MapClients(500, 40, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm) != 500 {
+		t.Fatalf("len = %d", len(cm))
+	}
+	counts := make([]int, 40)
+	for _, s := range cm {
+		if s < 0 || s >= 40 {
+			t.Fatalf("server %d out of range", s)
+		}
+		counts[s]++
+	}
+	// 1-M mapping: at least one server shared by multiple clients.
+	shared := false
+	for _, c := range counts {
+		if c > 1 {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Fatal("expected a 1-M (shared) mapping")
+	}
+	if _, err := MapClients(0, 5, r); err == nil {
+		t.Error("0 clients accepted")
+	}
+	if _, err := MapClients(5, 0, r); err == nil {
+		t.Error("0 servers accepted")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	l, err := trace.Generate(trace.Config{
+		Objects: 100, Clients: 30, Events: 10000, WriteRatio: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(4)
+	cm, err := MapClients(30, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FromTrace(l, cm, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: every trace event must land in exactly one demand cell.
+	if got := w.TotalRequests(); got != int64(len(l.Events)) {
+		t.Fatalf("request conservation broken: %d vs %d", got, len(l.Events))
+	}
+	s := l.Summarize()
+	if math.Abs(w.ReadWriteRatio()-(1-s.WriteRatio)) > 1e-9 {
+		t.Fatalf("read ratio mismatch: %v vs %v", w.ReadWriteRatio(), 1-s.WriteRatio)
+	}
+	if w.TotalPrimarySize() <= 0 {
+		t.Fatal("primary size should be positive")
+	}
+}
+
+func TestFromTraceShortClientMap(t *testing.T) {
+	l, _ := trace.Generate(trace.Config{Objects: 10, Clients: 30, Events: 100, Seed: 1})
+	r := stats.NewRNG(1)
+	cm, _ := MapClients(5, 10, r)
+	if _, err := FromTrace(l, cm, 10, r); err == nil {
+		t.Fatal("short client map accepted")
+	}
+}
+
+func TestSyntheticBasics(t *testing.T) {
+	w, err := Synthetic(SyntheticConfig{
+		Servers: 20, Objects: 100, Requests: 50000, RWRatio: 0.8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalRequests() == 0 {
+		t.Fatal("no requests distributed")
+	}
+	// Realized R/W ratio should be near the requested one.
+	if math.Abs(w.ReadWriteRatio()-0.8) > 0.05 {
+		t.Fatalf("R/W ratio %v too far from 0.8", w.ReadWriteRatio())
+	}
+}
+
+func TestSyntheticRWRatioSweep(t *testing.T) {
+	for _, rw := range []float64{0.2, 0.5, 0.95} {
+		w, err := Synthetic(SyntheticConfig{
+			Servers: 15, Objects: 80, Requests: 30000, RWRatio: rw, Seed: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(w.ReadWriteRatio()-rw) > 0.07 {
+			t.Fatalf("requested R/W %v, realized %v", rw, w.ReadWriteRatio())
+		}
+	}
+}
+
+func TestSyntheticSkew(t *testing.T) {
+	w, err := Synthetic(SyntheticConfig{
+		Servers: 10, Objects: 500, Requests: 100000, RWRatio: 0.9, ZipfS: 1.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols := make([]float64, w.N)
+	for k := 0; k < w.N; k++ {
+		vols[k] = float64(w.TotalReads[k] + w.TotalWrites[k])
+	}
+	if g := stats.GiniCoefficient(vols); g < 0.5 {
+		t.Fatalf("object volume Gini %v — not Zipf-skewed", g)
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	bad := []SyntheticConfig{
+		{Servers: 0, Objects: 1, Requests: 1, RWRatio: 0.5},
+		{Servers: 1, Objects: 0, Requests: 1, RWRatio: 0.5},
+		{Servers: 1, Objects: 1, Requests: 0, RWRatio: 0.5},
+		{Servers: 1, Objects: 1, Requests: 1, RWRatio: 0},
+		{Servers: 1, Objects: 1, Requests: 1, RWRatio: 1.5},
+		{Servers: 1, Objects: 1, Requests: 1, RWRatio: 0.5, DemandFraction: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{Servers: 8, Objects: 40, Requests: 5000, RWRatio: 0.7, Seed: 11}
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.M; i++ {
+		da, db := a.Demands(i), b.Demands(i)
+		if len(da) != len(db) {
+			t.Fatalf("server %d demand lengths differ", i)
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("server %d demand %d differs", i, j)
+			}
+		}
+	}
+}
+
+// Property: synthetic workloads conserve request volume exactly.
+func TestSyntheticConservationProperty(t *testing.T) {
+	f := func(seed int64, rawM, rawN uint8, rawReq uint16) bool {
+		cfg := SyntheticConfig{
+			Servers:  int(rawM%20) + 2,
+			Objects:  int(rawN%50) + 2,
+			Requests: int(rawReq%5000) + 100,
+			RWRatio:  0.75,
+			Seed:     seed,
+		}
+		w, err := Synthetic(cfg)
+		if err != nil {
+			return false
+		}
+		return w.TotalRequests() == int64(cfg.Requests) && w.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandSeedKeepsCatalogueFixed(t *testing.T) {
+	base := SyntheticConfig{Servers: 10, Objects: 50, Requests: 4000, RWRatio: 0.85, Seed: 42}
+	a, err := Synthetic(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := base
+	drift.DemandSeed = 777
+	b, err := Synthetic(drift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < a.N; k++ {
+		if a.ObjectSize[k] != b.ObjectSize[k] {
+			t.Fatalf("object %d size drifted", k)
+		}
+		if a.Primary[k] != b.Primary[k] {
+			t.Fatalf("object %d primary drifted", k)
+		}
+	}
+	// Demand must actually differ.
+	same := true
+	for i := 0; i < a.M && same; i++ {
+		da, db := a.Demands(i), b.Demands(i)
+		if len(da) != len(db) {
+			same = false
+			break
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("DemandSeed did not change the demand")
+	}
+}

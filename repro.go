@@ -1,0 +1,444 @@
+// Package repro is the public API of the AGT-RAM reproduction: building
+// Data Replication Problem (DRP) instances — from a statistical model, or
+// from synthetic World Cup 1998-style access traces — and solving them with
+// the paper's semi-distributed axiomatic game-theoretical mechanism
+// (AGT-RAM) or any of the five baselines the paper compares against
+// (greedy, genetic/GRA, Aε-Star branch and bound, Dutch auction, English
+// auction).
+//
+// A minimal session:
+//
+//	inst, err := repro.NewInstance(repro.InstanceConfig{
+//		Servers: 64, Objects: 400, Requests: 50000,
+//		RWRatio: 0.9, CapacityPercent: 20, Seed: 1,
+//	})
+//	...
+//	res, err := inst.Solve(repro.AGTRAM, nil)
+//	fmt.Printf("OTC saved: %.1f%%\n", res.SavingsPercent)
+//
+// The quality metric throughout is the paper's: the percentage of Object
+// Transfer Cost saved relative to the primary-copies-only placement.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/agtram"
+	"repro/internal/astar"
+	"repro/internal/auction"
+	"repro/internal/genetic"
+	"repro/internal/greedy"
+	"repro/internal/mechanism"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TopologyKind selects the network generator family of the experimental
+// setup (Section 5 of the paper).
+type TopologyKind string
+
+// Supported topology families.
+const (
+	// TopologyRandom is the paper's default: a flat G(M, p) random graph
+	// (GT-ITM's "pure random" method).
+	TopologyRandom TopologyKind = "random"
+	// TopologyWaxman places nodes in the unit square and wires them with
+	// distance-dependent probability.
+	TopologyWaxman TopologyKind = "waxman"
+	// TopologyPowerLaw grows a preferential-attachment graph, the family
+	// Inet produces for AS-level Internet maps.
+	TopologyPowerLaw TopologyKind = "powerlaw"
+	// TopologyTransitStub builds a GT-ITM-style two-level hierarchy.
+	TopologyTransitStub TopologyKind = "transitstub"
+)
+
+// InstanceConfig describes a synthetic DRP instance.
+type InstanceConfig struct {
+	Servers  int // M
+	Objects  int // N
+	Requests int // total read+write volume to distribute
+
+	// RWRatio is the read share of the request volume, in (0, 1].
+	RWRatio float64
+	// CapacityPercent sizes each server's storage at about this percentage
+	// of the total object catalogue size (uniformly jittered in [0.5, 1.5)
+	// of the target, never below the server's primary load), as in the
+	// paper's setups. Must be positive.
+	CapacityPercent float64
+
+	// Topology selects the generator (default TopologyRandom).
+	Topology TopologyKind
+	// EdgeP is the edge probability for TopologyRandom (default 0.4, the
+	// paper's first setting).
+	EdgeP float64
+
+	Seed int64
+}
+
+func (c InstanceConfig) withDefaults() InstanceConfig {
+	if c.Topology == "" {
+		c.Topology = TopologyRandom
+	}
+	if c.EdgeP == 0 {
+		c.EdgeP = 0.4
+	}
+	return c
+}
+
+// Instance is a fully built DRP instance ready to be solved. Solving never
+// mutates the instance: every Solve call starts from the primary-only
+// placement.
+type Instance struct {
+	cfg  InstanceConfig
+	prob *replication.Problem
+
+	// Retained only for trace-driven instances, enabling Replay.
+	trace     *trace.Log
+	clientMap workload.ClientMap
+}
+
+// NewInstance builds the network, the workload and the capacities.
+func NewInstance(cfg InstanceConfig) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Servers:  cfg.Servers,
+		Objects:  cfg.Objects,
+		Requests: cfg.Requests,
+		RWRatio:  cfg.RWRatio,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(cfg, w)
+}
+
+// TraceConfig re-exports the synthetic World Cup 1998 trace model.
+type TraceConfig = trace.Config
+
+// Trace is an access trace plus its object catalogue.
+type Trace = trace.Log
+
+// GenerateTrace produces one synthetic access trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// GenerateFridays produces n independent trace instances, mirroring the
+// paper's 13 Friday logs.
+func GenerateFridays(cfg TraceConfig, n int) ([]*Trace, error) { return trace.Fridays(cfg, n) }
+
+// NewInstanceFromTrace replays a trace into a DRP instance: clients are
+// mapped onto servers with the paper's random 1-M mapping, demand is
+// aggregated per (server, object), primaries land on random servers.
+func NewInstanceFromTrace(tr *Trace, cfg InstanceConfig) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(stats.Mix64(cfg.Seed, 7))
+	cm, err := workload.MapClients(int(tr.Clients), cfg.Servers, r)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.FromTrace(tr, cm, cfg.Servers, r)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := assemble(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	inst.trace = tr
+	inst.clientMap = cm
+	return inst, nil
+}
+
+func assemble(cfg InstanceConfig, w *workload.Workload) (*Instance, error) {
+	r := stats.NewRNG(stats.Mix64(cfg.Seed, 11))
+	var g *topology.Graph
+	var err error
+	switch cfg.Topology {
+	case TopologyRandom:
+		g, err = topology.Random(cfg.Servers, cfg.EdgeP, topology.DefaultWeights, r)
+	case TopologyWaxman:
+		g, err = topology.Waxman(cfg.Servers, 0.8, 0.3, topology.DefaultWeights, r)
+	case TopologyPowerLaw:
+		g, err = topology.PowerLaw(cfg.Servers, 2, topology.DefaultWeights, r)
+	case TopologyTransitStub:
+		g, err = transitStubFor(cfg.Servers, r)
+	default:
+		return nil, fmt.Errorf("repro: unknown topology kind %q", cfg.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+	caps, err := replication.GenerateCapacities(w, cfg.CapacityPercent, r)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := replication.NewProblem(topology.AllPairs(g, 0), w, caps)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{cfg: cfg, prob: prob}, nil
+}
+
+// transitStubFor picks transit-stub parameters that land at least cfg
+// servers, then trims by building with exact sizes when possible.
+func transitStubFor(servers int, r *stats.RNG) (*topology.Graph, error) {
+	// Shape: d transit domains of 4 nodes, 2 stubs of s nodes per transit
+	// node: total = 4d(1+2s). Solve for small d, s covering `servers`.
+	for d := 1; d <= 8; d++ {
+		base := 4 * d
+		rest := servers - base
+		if rest <= 0 {
+			continue
+		}
+		s := rest / (base * 2)
+		if s >= 1 && base*(1+2*s) == servers {
+			return topology.TransitStub(topology.TransitStubConfig{
+				TransitDomains:  d,
+				TransitSize:     4,
+				StubsPerTransit: 2,
+				StubSize:        s,
+				IntraP:          0.4,
+			}, r)
+		}
+	}
+	return nil, fmt.Errorf("repro: no transit-stub shape with exactly %d servers; use a multiple of 4d(1+2s)", servers)
+}
+
+// Servers reports M.
+func (in *Instance) Servers() int { return in.prob.M }
+
+// Objects reports N.
+func (in *Instance) Objects() int { return in.prob.N }
+
+// BaseOTC reports the OTC of the primary-copies-only placement.
+func (in *Instance) BaseOTC() int64 { return in.prob.NewSchema().TotalCost() }
+
+// Config returns the instance's configuration.
+func (in *Instance) Config() InstanceConfig { return in.cfg }
+
+// Problem exposes the underlying model for in-module consumers (the bench
+// harness); external users interact through Solve.
+func (in *Instance) Problem() *replication.Problem { return in.prob }
+
+// Method identifies a replica placement method.
+type Method string
+
+// The six methods of the paper's comparison.
+const (
+	AGTRAM         Method = "agt-ram"
+	Greedy         Method = "greedy"
+	GRA            Method = "gra"
+	AeStar         Method = "ae-star"
+	DutchAuction   Method = "da"
+	EnglishAuction Method = "ea"
+)
+
+// Methods lists all six methods in the paper's presentation order.
+func Methods() []Method {
+	return []Method{GRA, AeStar, Greedy, AGTRAM, DutchAuction, EnglishAuction}
+}
+
+// Options tunes a Solve call; nil or zero fields select the defaults used
+// throughout the paper reproduction.
+type Options struct {
+	// Workers bounds parallel fan-out for methods that have one.
+	Workers int
+	// Seed feeds the randomized methods (GRA).
+	Seed int64
+	// Distributed runs AGT-RAM through its message-passing engine
+	// (goroutine per agent) instead of the synchronous-parallel one; the
+	// allocations are identical.
+	Distributed bool
+	// Network runs AGT-RAM through gob-encoded net.Pipe connections.
+	Network bool
+	// TCPAddr, when non-empty, runs AGT-RAM over real loopback TCP sockets
+	// listening on this address (use "127.0.0.1:0" for an ephemeral port).
+	TCPAddr string
+	// FirstPrice switches AGT-RAM's payment rule (truthfulness ablation).
+	FirstPrice bool
+	// ExactValuation switches AGT-RAM's agents to exact global deltas
+	// (valuation ablation; incompatible with Distributed/Network).
+	ExactValuation bool
+	// GRAGenerations overrides the GA's generation budget.
+	GRAGenerations int
+}
+
+func (o *Options) orDefault() Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+// Result reports a solved placement.
+type Result struct {
+	Method         Method
+	OTC            int64         // final object transfer cost
+	BaseOTC        int64         // primary-only OTC
+	SavingsPercent float64       // the paper's metric
+	Replicas       int           // replicas placed beyond primaries
+	Runtime        time.Duration // wall-clock solve time
+	// Work is the method's dominant operation count (valuations, benefit
+	// evaluations, node expansions, clock polls or schema decodings).
+	Work int64
+	// Rounds is the number of mechanism rounds (AGT-RAM only).
+	Rounds int
+	// Payments holds AGT-RAM's cumulative per-server motivational payments.
+	Payments []int64
+
+	schema *replication.Schema
+}
+
+// WriteReport serializes the solved placement as an auditable JSON report:
+// the full replica sets, per-server utilization and the OTC decomposition.
+func (r *Result) WriteReport(w io.Writer) error {
+	if r.schema == nil {
+		return fmt.Errorf("repro: result carries no placement")
+	}
+	return r.schema.Report().WriteJSON(w)
+}
+
+// Breakdown decomposes the solved placement's OTC into read, update-ship
+// and update-broadcast traffic.
+func (r *Result) Breakdown() (read, ship, broadcast int64, err error) {
+	if r.schema == nil {
+		return 0, 0, 0, fmt.Errorf("repro: result carries no placement")
+	}
+	b := r.schema.Breakdown()
+	return b.ReadCost, b.ShipCost, b.BroadcastCost, nil
+}
+
+// ReplayMetrics summarizes an event-by-event replay of the instance's
+// trace against a solved placement.
+type ReplayMetrics struct {
+	Events        int
+	TransferCost  int64
+	ReadCost      int64
+	WriteCost     int64
+	LocalReads    int
+	LoadImbalance float64 // Gini of per-server traffic, 0 = even
+	MeanReadCost  float64
+	P99ReadCost   float64
+}
+
+// Replay routes every event of the trace this instance was built from
+// against the placement a Solve call produced, returning realized traffic
+// metrics. The realized transfer cost equals the analytical OTC exactly.
+// Only available on instances built with NewInstanceFromTrace.
+func (in *Instance) Replay(res *Result) (*ReplayMetrics, error) {
+	if in.trace == nil {
+		return nil, fmt.Errorf("repro: Replay needs a trace-driven instance (NewInstanceFromTrace)")
+	}
+	if res == nil || res.schema == nil {
+		return nil, fmt.Errorf("repro: Replay needs a solved result")
+	}
+	m, err := sim.Replay(in.trace, in.clientMap, res.schema)
+	if err != nil {
+		return nil, err
+	}
+	summary := m.ReadCostSummary()
+	return &ReplayMetrics{
+		Events:        m.Events,
+		TransferCost:  m.TransferCost,
+		ReadCost:      m.ReadCost,
+		WriteCost:     m.WriteCost,
+		LocalReads:    m.LocalReads,
+		LoadImbalance: m.LoadImbalance(),
+		MeanReadCost:  summary.Mean,
+		P99ReadCost:   summary.P99,
+	}, nil
+}
+
+// Solve runs the given method against the instance.
+func (in *Instance) Solve(m Method, opts *Options) (*Result, error) {
+	o := opts.orDefault()
+	start := time.Now()
+	var (
+		schema *replication.Schema
+		work   int64
+		rounds int
+		pays   []int64
+		nrep   int
+	)
+	switch m {
+	case AGTRAM:
+		cfg := agtram.Config{Workers: o.Workers}
+		if o.FirstPrice {
+			cfg.Payment = mechanism.FirstPrice
+		}
+		if o.ExactValuation {
+			cfg.Valuation = agtram.ExactDelta
+		}
+		var res *agtram.Result
+		var err error
+		switch {
+		case o.TCPAddr != "":
+			res, err = agtram.SolveTCP(in.prob, cfg, o.TCPAddr)
+		case o.Network:
+			res, err = agtram.SolveNetwork(in.prob, cfg)
+		case o.Distributed:
+			res, err = agtram.SolveDistributed(in.prob, cfg)
+		default:
+			res, err = agtram.Solve(in.prob, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		schema, work, rounds, pays = res.Schema, res.Valuations, res.Rounds, res.Payments
+		nrep = len(res.Allocations)
+	case Greedy:
+		cfg := greedy.DefaultConfig()
+		cfg.Workers = o.Workers
+		res, err := greedy.Solve(in.prob, cfg)
+		if err != nil {
+			return nil, err
+		}
+		schema, work, nrep = res.Schema, res.Evaluations, res.Placed
+	case GRA:
+		cfg := genetic.Config{Workers: o.Workers, Seed: o.Seed, Generations: o.GRAGenerations}
+		res, err := genetic.Solve(in.prob, cfg)
+		if err != nil {
+			return nil, err
+		}
+		schema, work, nrep = res.Schema, res.Evaluations, res.Schema.Placed()
+	case AeStar:
+		res, err := astar.Solve(in.prob, astar.Config{})
+		if err != nil {
+			return nil, err
+		}
+		schema, work, nrep = res.Schema, int64(res.Expanded), res.Placed
+	case DutchAuction, EnglishAuction:
+		kind := auction.Dutch
+		if m == EnglishAuction {
+			kind = auction.English
+		}
+		res, err := auction.Solve(in.prob, auction.Config{Kind: kind})
+		if err != nil {
+			return nil, err
+		}
+		schema, work, nrep = res.Schema, res.Polls, res.Placed
+	default:
+		return nil, fmt.Errorf("repro: unknown method %q", m)
+	}
+	return &Result{
+		Method:         m,
+		OTC:            schema.TotalCost(),
+		BaseOTC:        schema.BaseCost(),
+		SavingsPercent: schema.Savings(),
+		Replicas:       nrep,
+		Runtime:        time.Since(start),
+		Work:           work,
+		Rounds:         rounds,
+		Payments:       pays,
+		schema:         schema,
+	}, nil
+}
