@@ -1,0 +1,34 @@
+# Developer and CI entry points. `make ci` is what the GitHub Actions
+# workflow runs: vet, build, the full test suite under the race detector
+# (the incremental AGT-RAM engine shares work with pool workers, so the
+# race run is load-bearing, not ceremonial), and one pass over every
+# benchmark so the perf harness itself cannot rot.
+
+GO ?= go
+
+.PHONY: all vet build test race bench ci fuzz
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: checks the harness runs, not the numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Short smoke of each fuzz target beyond its checked-in corpus.
+fuzz:
+	$(GO) test -fuzz FuzzSchemaPlaceRemove -fuzztime 10s ./internal/replication
+	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/topology
+
+ci: vet build race bench

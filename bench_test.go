@@ -86,7 +86,9 @@ func BenchmarkAblationEngine(b *testing.B) {
 }
 
 // BenchmarkSolve measures each of the six methods on one mid-size instance
-// (the per-cell cost of Tables 1 and 2).
+// (the per-cell cost of Tables 1 and 2). The valuations/op metric reports
+// the method's dominant operation count (Result.Work) so BENCH_*.json can
+// track algorithmic wins independently of wall-clock noise.
 func BenchmarkSolve(b *testing.B) {
 	cfg := repro.InstanceConfig{
 		Servers: 64, Objects: 400, Requests: 24000,
@@ -94,6 +96,7 @@ func BenchmarkSolve(b *testing.B) {
 	}
 	for _, m := range repro.Methods() {
 		b.Run(string(m), func(b *testing.B) {
+			var work int64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				inst, err := repro.NewInstance(cfg)
@@ -101,31 +104,33 @@ func BenchmarkSolve(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := inst.Solve(m, &repro.Options{Seed: 42, GRAGenerations: 10}); err != nil {
+				res, err := inst.Solve(m, &repro.Options{Seed: 42, GRAGenerations: 10})
+				if err != nil {
 					b.Fatal(err)
 				}
+				work += res.Work
 			}
+			b.ReportMetric(float64(work)/float64(b.N), "valuations/op")
 		})
 	}
 }
 
-// BenchmarkAGTRAMEngines compares the three mechanism engines (Ablation C's
-// cost side) on one instance.
-func BenchmarkAGTRAMEngines(b *testing.B) {
-	cfg := repro.InstanceConfig{
-		Servers: 48, Objects: 300, Requests: 18000,
-		RWRatio: 0.9, CapacityPercent: 20, Seed: 42,
-	}
-	engines := []struct {
-		name string
-		opts repro.Options
-	}{
-		{"sync", repro.Options{}},
-		{"distributed", repro.Options{Distributed: true}},
-		{"network", repro.Options{Network: true}},
-	}
-	for _, e := range engines {
+// agtramEngines are the per-engine option sets shared by the engine
+// benchmarks; "incremental" is the default engine, "sync" the opt-out.
+var agtramEngines = []struct {
+	name string
+	opts repro.Options
+}{
+	{"incremental", repro.Options{}},
+	{"sync", repro.Options{Sync: true}},
+	{"distributed", repro.Options{Distributed: true}},
+	{"network", repro.Options{Network: true}},
+}
+
+func benchEngines(b *testing.B, cfg repro.InstanceConfig) {
+	for _, e := range agtramEngines {
 		b.Run(e.name, func(b *testing.B) {
+			var work int64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				inst, err := repro.NewInstance(cfg)
@@ -133,10 +138,57 @@ func BenchmarkAGTRAMEngines(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := inst.Solve(repro.AGTRAM, &e.opts); err != nil {
+				res, err := inst.Solve(repro.AGTRAM, &e.opts)
+				if err != nil {
 					b.Fatal(err)
 				}
+				work += res.Work
 			}
+			b.ReportMetric(float64(work)/float64(b.N), "valuations/op")
+		})
+	}
+}
+
+// BenchmarkAGTRAMEngines compares the four mechanism engines (Ablation C's
+// cost side) on one Table 1/Table 2-scale instance.
+func BenchmarkAGTRAMEngines(b *testing.B) {
+	benchEngines(b, repro.InstanceConfig{
+		Servers: 48, Objects: 300, Requests: 18000,
+		RWRatio: 0.9, CapacityPercent: 20, Seed: 42,
+	})
+}
+
+// BenchmarkAGTRAMEnginesLarge scales the engine comparison to M >= 500
+// servers, the regime where the incremental engine's dirty-set re-pricing
+// pulls decisively ahead of the per-round full rescan. The network engine
+// is skipped: serializing thousands of agents over net.Pipe measures gob,
+// not the mechanism.
+func BenchmarkAGTRAMEnginesLarge(b *testing.B) {
+	cfg := repro.InstanceConfig{
+		Servers: 500, Objects: 1500, Requests: 90000,
+		RWRatio: 0.9, CapacityPercent: 20, Seed: 42,
+	}
+	for _, e := range agtramEngines {
+		if e.name == "network" {
+			continue
+		}
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			var work int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				inst, err := repro.NewInstance(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := inst.Solve(repro.AGTRAM, &e.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				work += res.Work
+			}
+			b.ReportMetric(float64(work)/float64(b.N), "valuations/op")
 		})
 	}
 }

@@ -6,7 +6,7 @@
 //
 //	agtram -M 128 -N 800 -capacity 20 -rw 0.9
 //	agtram -method greedy -M 128 -N 800 -capacity 20 -rw 0.9
-//	agtram -method agt-ram -engine network -M 64 -N 400
+//	agtram -method agt-ram -engine sync -M 64 -N 400
 //	agtram -all -M 128 -N 800   # run all six methods, print a comparison
 package main
 
@@ -32,13 +32,18 @@ func main() {
 		edgeP    = flag.Float64("p", 0.4, "edge probability for the random topology")
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		method   = flag.String("method", "agt-ram", "method: agt-ram|greedy|gra|ae-star|da|ea")
-		engine   = flag.String("engine", "sync", "AGT-RAM engine: sync|distributed|network")
+		engine   = flag.String("engine", "incremental", "AGT-RAM engine: incremental|sync|distributed|network")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		all      = flag.Bool("all", false, "run all six methods and print a comparison table")
 		report   = flag.String("report", "", "write the solved placement as a JSON report to this file")
 	)
 	flag.Parse()
 
+	switch *engine {
+	case "incremental", "sync", "distributed", "network":
+	default:
+		fatal(fmt.Errorf("unknown -engine %q (want incremental|sync|distributed|network)", *engine))
+	}
 	if *requests == 0 {
 		*requests = *n * 60
 	}
@@ -65,6 +70,7 @@ func main() {
 	opts := &repro.Options{
 		Workers:     *workers,
 		Seed:        *seed,
+		Sync:        *engine == "sync",
 		Distributed: *engine == "distributed",
 		Network:     *engine == "network",
 	}

@@ -10,6 +10,9 @@
 //	-scale f    fraction of the paper's problem sizes (default 0.08)
 //	-seed n     experiment seed (default 42)
 //	-workers n  parallel workers (0 = GOMAXPROCS)
+//	-sync       force AGT-RAM's synchronous full-rescan engine instead of
+//	            the default event-driven incremental one (identical
+//	            results, more valuation work — see ablation-engine)
 //	-csv dir    also write each result as CSV into dir
 //	-chart      also render each result as an ASCII chart
 //	-quiet      suppress per-run progress lines
@@ -53,6 +56,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.08, "fraction of the paper's problem sizes")
 		seed    = flag.Int64("seed", 42, "experiment seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		sync    = flag.Bool("sync", false, "force AGT-RAM's synchronous full-rescan engine (default: incremental)")
 		csvDir  = flag.String("csv", "", "directory to write CSV copies into")
 		chart   = flag.Bool("chart", false, "also render each result as an ASCII chart")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
@@ -64,7 +68,7 @@ func main() {
 	}
 	target := flag.Arg(0)
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Workers: *workers, Sync: *sync}
 	if !*quiet {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}

@@ -11,11 +11,14 @@
 // agent can update its nearest-neighbor table. The loop ends when no agent
 // has a beneficial feasible replica left.
 //
-// Three engines share the same agent logic and produce identical
-// allocations:
+// Four engines share the same agent logic and produce identical
+// allocations and payments:
 //
 //   - Solve: synchronous rounds with the per-agent scans fanned out over a
-//     worker pool (the PARFOR loops of Figure 2);
+//     worker pool (the PARFOR loops of Figure 2, reproduced literally);
+//   - SolveIncremental: the event-driven default — cached dominant bids in
+//     lazy max-heaps, re-pricing only the agents a broadcast can actually
+//     have changed (see incremental.go);
 //   - SolveDistributed: one goroutine per agent exchanging messages with a
 //     mechanism goroutine over channels — agents keep purely local state;
 //   - SolveNetwork: the same protocol serialized with encoding/gob over

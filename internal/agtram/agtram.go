@@ -42,8 +42,8 @@ type Config struct {
 	// MaxRounds caps the number of rounds; <= 0 means unbounded.
 	MaxRounds int
 	// OnRound, when non-nil, observes every allocation as the mechanism
-	// makes it (synchronous engine only). Useful for tracing and live
-	// dashboards; must not block.
+	// makes it (synchronous and incremental engines). Useful for tracing
+	// and live dashboards; must not block.
 	OnRound func(Allocation)
 }
 
@@ -77,7 +77,11 @@ type Result struct {
 	// Rounds is the number of mechanism rounds executed (== len(Allocations)).
 	Rounds int
 	// Valuations counts CoR computations across all agents: the "heavy
-	// processing" that stays on the servers.
+	// processing" that stays on the servers. Solve charges one valuation
+	// per candidate scanned per round; SolveIncremental charges one per
+	// candidate actually re-priced, which is the same work in round one and
+	// strictly less afterwards — the allocations and payments are identical
+	// either way, only this counter differs.
 	Valuations int64
 }
 
@@ -154,7 +158,9 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 				live = append(live, a)
 			}
 		}
-		// Compact the parallel bid buffers alongside the agent list.
+		// bidSlots/hasBid keep their full length; only the first
+		// len(agents) entries are meaningful and scanAgents rewrites all of
+		// them each round, so no compaction of the buffers is needed.
 		agents = live
 	}
 	return res, nil
@@ -193,21 +199,14 @@ func scanAgents(agents []*agentState, bidSlots []mechanism.Bid, hasBid []bool,
 	for _, a := range agents {
 		total += int64(len(a.cands))
 	}
-	if total < serialScanThreshold || workers.Workers() == 1 || val == ExactDelta {
-		// ExactDelta valuations are much heavier per candidate, but they
-		// read the shared schema; keep them on the pool only when large.
-		if val == ExactDelta && total > 64 && workers.Workers() > 1 {
-			var counted int64
-			workers.Batch(len(agents), func(lo, hi int) {
-				var n int64
-				for idx := lo; idx < hi; idx++ {
-					n += scanOne(idx)
-				}
-				atomic.AddInt64(&counted, n)
-			})
-			*valuations += counted
-			return
-		}
+	// ExactDelta valuations are much heavier per candidate (they read the
+	// shared schema), so they amortize the pool dispatch at a far smaller
+	// round size than the O(1) local pricings.
+	threshold := int64(serialScanThreshold)
+	if val == ExactDelta {
+		threshold = 65
+	}
+	if workers.Workers() == 1 || total < threshold {
 		for idx := range agents {
 			*valuations += scanOne(idx)
 		}

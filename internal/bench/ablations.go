@@ -92,10 +92,12 @@ func AblationValuation(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// AblationEngine compares the three AGT-RAM engines (synchronous-parallel,
-// goroutine message passing, gob over net.Pipe) — identical allocations,
-// different communication substrate — and the centralized raw-benefit scan
-// (greedy without density) as the non-mechanism control.
+// AblationEngine compares the four AGT-RAM engines (event-driven
+// incremental, synchronous-parallel, goroutine message passing, gob over
+// net.Pipe) — identical allocations, different execution substrate — and
+// the centralized raw-benefit scan (greedy without density) as the
+// non-mechanism control. The valuations column isolates the incremental
+// engine's algorithmic win from wall-clock noise.
 func AblationEngine(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale/2, 20)
@@ -107,14 +109,15 @@ func AblationEngine(cfg Config) (*Table, error) {
 	t := &Table{
 		Title:    fmt.Sprintf("Ablation C: AGT-RAM engines [M=%d, N=%d, C=20%%, R/W=0.90]", m, n),
 		RowLabel: "engine",
-		Unit:     "savings % / seconds",
-		Columns:  []string{"savings", "seconds"},
+		Unit:     "savings % / seconds / valuation computations",
+		Columns:  []string{"savings", "seconds", "valuations"},
 	}
 	engines := []struct {
 		name string
 		opts repro.Options
 	}{
-		{"sync-parallel", repro.Options{Workers: cfg.Workers}},
+		{"incremental", repro.Options{Workers: cfg.Workers}},
+		{"sync-parallel", repro.Options{Workers: cfg.Workers, Sync: true}},
 		{"goroutine-msgs", repro.Options{Workers: cfg.Workers, Distributed: true}},
 		{"gob-netpipe", repro.Options{Workers: cfg.Workers, Network: true}},
 	}
@@ -128,8 +131,10 @@ func AblationEngine(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg.progress("Ablation C: %s %.2f%% in %s", e.name, res.SavingsPercent, time.Since(start).Round(time.Millisecond))
-		t.Rows = append(t.Rows, Row{Label: e.name, Values: []float64{res.SavingsPercent, res.Runtime.Seconds()}})
+		cfg.progress("Ablation C: %s %.2f%% in %s (%d valuations)",
+			e.name, res.SavingsPercent, time.Since(start).Round(time.Millisecond), res.Work)
+		t.Rows = append(t.Rows, Row{Label: e.name,
+			Values: []float64{res.SavingsPercent, res.Runtime.Seconds(), float64(res.Work)}})
 	}
 	// Control: the same allocation rule run as one centralized scan.
 	inst, err := repro.NewInstance(icfg)
@@ -140,6 +145,7 @@ func AblationEngine(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Rows = append(t.Rows, Row{Label: "centralized-greedy", Values: []float64{res.SavingsPercent, res.Runtime.Seconds()}})
+	t.Rows = append(t.Rows, Row{Label: "centralized-greedy",
+		Values: []float64{res.SavingsPercent, res.Runtime.Seconds(), float64(res.Work)}})
 	return t, nil
 }

@@ -31,6 +31,10 @@ type Config struct {
 	Seed int64
 	// Workers bounds solver fan-out; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Sync forces AGT-RAM's synchronous full-rescan engine across every
+	// experiment instead of the default incremental one (identical
+	// results; only the work counts and wall time differ).
+	Sync bool
 	// Methods to run (default: all six, paper order).
 	Methods []repro.Method
 	// GRAGenerations overrides the GA budget (default 30).
@@ -179,6 +183,7 @@ func runAll(cfg Config, icfg repro.InstanceConfig) (map[repro.Method]*repro.Resu
 		}
 		res, err := inst.Solve(m, &repro.Options{
 			Workers:        cfg.Workers,
+			Sync:           cfg.Sync,
 			Seed:           stats.Mix64(cfg.Seed, int64(len(m))),
 			GRAGenerations: cfg.GRAGenerations,
 		})

@@ -145,15 +145,22 @@ func TestAblationEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 4 {
-		t.Fatalf("got %d rows, want 4 (three engines + control)", len(tab.Rows))
+	if len(tab.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5 (four engines + control)", len(tab.Rows))
 	}
-	// All three engines produce identical savings.
+	// All four engines produce identical savings.
 	s0, _ := tab.Value(0, "savings")
-	s1, _ := tab.Value(1, "savings")
-	s2, _ := tab.Value(2, "savings")
-	if s0 != s1 || s0 != s2 {
-		t.Fatalf("engines disagree: %.4f / %.4f / %.4f", s0, s1, s2)
+	for i := 1; i < 4; i++ {
+		if si, _ := tab.Value(i, "savings"); si != s0 {
+			t.Fatalf("engine row %d disagrees: %.4f vs %.4f", i, si, s0)
+		}
+	}
+	// The incremental engine (row 0) must beat the synchronous rescan
+	// (row 1) on valuation computations.
+	vInc, _ := tab.Value(0, "valuations")
+	vSync, _ := tab.Value(1, "valuations")
+	if vInc <= 0 || vInc >= vSync {
+		t.Fatalf("incremental valuations %.0f not below synchronous %.0f", vInc, vSync)
 	}
 }
 

@@ -1,0 +1,110 @@
+package replication
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// fuzzCost is a deterministic symmetric cost oracle with a zero diagonal
+// and enough irregularity that nearest-neighbor choices actually move
+// around as replicas are placed and removed.
+type fuzzCost struct{ n int }
+
+func (c fuzzCost) At(i, j int) int32 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	d := int32(j - i)
+	return 1 + d*3 + int32((i*7+j*13)%5)
+}
+
+func (c fuzzCost) N() int { return c.n }
+
+func fuzzProblem(t testing.TB, seed int64) *Problem {
+	const m, n = 6, 14
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Servers: m, Objects: n, Requests: 900, RWRatio: 0.8, Seed: seed,
+	})
+	if err != nil {
+		t.Skip("infeasible synthetic workload:", err)
+	}
+	caps := make([]int64, m)
+	total := w.TotalPrimarySize()
+	for i := range caps {
+		// Enough headroom that placements succeed often, small enough that
+		// capacity pruning is exercised too.
+		caps[i] = total/2 + int64(i)*3
+	}
+	p, err := NewProblem(fuzzCost{n: m}, w, caps)
+	if err != nil {
+		t.Skip("infeasible problem:", err)
+	}
+	return p
+}
+
+// FuzzSchemaPlaceRemove interleaves random PlaceReplica/RemoveReplica calls
+// and cross-checks every piece of incremental bookkeeping the solvers lean
+// on: the returned deltas against the preview Delta* forms, the running
+// cost against both the per-op delta sum and a from-scratch recomputation,
+// and the full invariant sweep (NN tables, capacity accounting, replica
+// sets) at the end. Run with
+// `go test -fuzz=FuzzSchemaPlaceRemove ./internal/replication` to explore;
+// the seed corpus runs on every plain `go test`.
+func FuzzSchemaPlaceRemove(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x12, 0x81, 0x23, 0x05, 0x31})
+	f.Add(int64(2), []byte{0x10, 0x01, 0x90, 0x01, 0x10, 0x01, 0x90, 0x01})
+	f.Add(int64(3), []byte{})
+	f.Add(int64(4), []byte{0xff, 0xff, 0x7f, 0x00, 0x42, 0x42, 0x13, 0x37, 0x99, 0x21})
+
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		p := fuzzProblem(t, seed%64)
+		s := p.NewSchema()
+		running := s.TotalCost()
+		for len(ops) >= 3 {
+			op, kb, mb := ops[0], ops[1], ops[2]
+			ops = ops[3:]
+			k := int32(int(kb) % p.N)
+			m := int(mb) % p.M
+			if op&1 == 0 {
+				if s.CanPlace(k, m) != nil {
+					continue
+				}
+				preview := s.DeltaIfPlaced(k, m)
+				delta, err := s.PlaceReplica(k, m)
+				if err != nil {
+					t.Fatalf("CanPlace passed but PlaceReplica(%d,%d) failed: %v", k, m, err)
+				}
+				if delta != preview {
+					t.Fatalf("PlaceReplica(%d,%d) delta %d != DeltaIfPlaced %d", k, m, delta, preview)
+				}
+				running += delta
+			} else {
+				if s.CanRemove(k, m) != nil {
+					continue
+				}
+				preview := s.DeltaIfRemoved(k, m)
+				delta, err := s.RemoveReplica(k, m)
+				if err != nil {
+					t.Fatalf("CanRemove passed but RemoveReplica(%d,%d) failed: %v", k, m, err)
+				}
+				if delta != preview {
+					t.Fatalf("RemoveReplica(%d,%d) delta %d != DeltaIfRemoved %d", k, m, delta, preview)
+				}
+				running += delta
+			}
+			if got := s.TotalCost(); got != running {
+				t.Fatalf("incremental cost %d drifted from delta sum %d", got, running)
+			}
+		}
+		if got, want := s.TotalCost(), s.RecomputeCost(); got != want {
+			t.Fatalf("incremental cost %d != recomputed %d", got, want)
+		}
+		if err := s.ValidateInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

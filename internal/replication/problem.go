@@ -41,14 +41,17 @@ type Problem struct {
 
 	// byObject indexes demand cells by object: all (server, demand-slot)
 	// pairs with demand on object k. Built once; shared by all schemas.
-	byObject [][]demandRef
+	byObject [][]DemandRef
 	// primaryLoad is Σ_{k: P_k = i} o_k per server.
 	primaryLoad []int64
 }
 
-type demandRef struct {
-	server int32
-	slot   int32 // index into Work.PerServer[server]
+// DemandRef locates one demand cell: Work.PerServer[Server][Slot]. The
+// per-object index of these refs is what lets solvers touch only the
+// demanders of a placed object instead of rescanning every agent.
+type DemandRef struct {
+	Server int32
+	Slot   int32 // index into Work.PerServer[Server]
 }
 
 // NewProblem validates and indexes a DRP instance. The capacity slice must
@@ -69,7 +72,7 @@ func NewProblem(cost CostFn, w *workload.Workload, capacity []int64) (*Problem, 
 		Cost:        cost,
 		Work:        w,
 		Capacity:    capacity,
-		byObject:    make([][]demandRef, w.N),
+		byObject:    make([][]DemandRef, w.N),
 		primaryLoad: make([]int64, w.M),
 	}
 	for k := 0; k < w.N; k++ {
@@ -81,7 +84,7 @@ func NewProblem(cost CostFn, w *workload.Workload, capacity []int64) (*Problem, 
 				i, capacity[i], p.primaryLoad[i])
 		}
 		for slot, d := range w.PerServer[i] {
-			p.byObject[d.Object] = append(p.byObject[d.Object], demandRef{server: int32(i), slot: int32(slot)})
+			p.byObject[d.Object] = append(p.byObject[d.Object], DemandRef{Server: int32(i), Slot: int32(slot)})
 		}
 	}
 	return p, nil
@@ -92,6 +95,10 @@ func (p *Problem) PrimaryLoad(i int) int64 { return p.primaryLoad[i] }
 
 // Demanders reports how many servers have demand for object k.
 func (p *Problem) Demanders(k int32) int { return len(p.byObject[k]) }
+
+// DemandersOf returns the demand index of object k: every (server, slot)
+// with demand on k. The slice is shared; callers must not mutate it.
+func (p *Problem) DemandersOf(k int32) []DemandRef { return p.byObject[k] }
 
 // ReplicationHeadroom converts the paper's capacity percentage C% into a
 // system-wide replica budget: at C%, the servers together can hold about

@@ -147,12 +147,12 @@ func (s *Schema) DeltaIfPlaced(k int32, m int) int64 {
 
 	// Read side: every demander whose NN cost exceeds c(i, m) improves.
 	for _, ref := range p.byObject[k] {
-		d := p.Work.PerServer[ref.server][ref.slot]
+		d := p.Work.PerServer[ref.Server][ref.Slot]
 		if d.Reads == 0 {
 			continue
 		}
-		oldC := int64(s.nnCost[ref.server][ref.slot])
-		newC := int64(p.Cost.At(int(ref.server), m))
+		oldC := int64(s.nnCost[ref.Server][ref.Slot])
+		newC := int64(p.Cost.At(int(ref.Server), m))
 		if newC < oldC {
 			delta += d.Reads * ok * (newC - oldC)
 		}
@@ -213,15 +213,15 @@ func (s *Schema) applyPlacement(k int32, m int) int64 {
 	delta := ok * cPm * (p.Work.TotalWrites[k] - wm)
 
 	for _, ref := range p.byObject[k] {
-		i := int(ref.server)
-		d := p.Work.PerServer[i][ref.slot]
+		i := int(ref.Server)
+		d := p.Work.PerServer[i][ref.Slot]
 		newC := p.Cost.At(i, m)
-		if newC < s.nnCost[i][ref.slot] {
+		if newC < s.nnCost[i][ref.Slot] {
 			if d.Reads > 0 {
-				delta += d.Reads * ok * int64(newC-s.nnCost[i][ref.slot])
+				delta += d.Reads * ok * int64(newC-s.nnCost[i][ref.Slot])
 			}
-			s.nnCost[i][ref.slot] = newC
-			s.nnServer[i][ref.slot] = int32(m)
+			s.nnCost[i][ref.Slot] = newC
+			s.nnServer[i][ref.Slot] = int32(m)
 		}
 	}
 
@@ -285,8 +285,8 @@ func (s *Schema) RemoveReplica(k int32, m int) (int64, error) {
 
 	// Read side: demanders whose nearest replica was m rescan.
 	for _, ref := range p.byObject[k] {
-		i := int(ref.server)
-		if s.nnServer[i][ref.slot] != int32(m) {
+		i := int(ref.Server)
+		if s.nnServer[i][ref.Slot] != int32(m) {
 			continue
 		}
 		best, bestCost := s.replicas[k][0], p.Cost.At(i, int(s.replicas[k][0]))
@@ -295,12 +295,12 @@ func (s *Schema) RemoveReplica(k int32, m int) (int64, error) {
 				best, bestCost = j, c
 			}
 		}
-		d := p.Work.PerServer[i][ref.slot]
+		d := p.Work.PerServer[i][ref.Slot]
 		if d.Reads > 0 {
-			delta += d.Reads * ok * int64(bestCost-s.nnCost[i][ref.slot])
+			delta += d.Reads * ok * int64(bestCost-s.nnCost[i][ref.Slot])
 		}
-		s.nnServer[i][ref.slot] = best
-		s.nnCost[i][ref.slot] = bestCost
+		s.nnServer[i][ref.Slot] = best
+		s.nnCost[i][ref.Slot] = bestCost
 	}
 
 	s.sumBcast[k] -= cPm
@@ -320,8 +320,8 @@ func (s *Schema) DeltaIfRemoved(k int32, m int) int64 {
 	wm, _ := s.writeOf(m, k)
 	delta := -ok * cPm * (p.Work.TotalWrites[k] - wm)
 	for _, ref := range p.byObject[k] {
-		i := int(ref.server)
-		if s.nnServer[i][ref.slot] != int32(m) {
+		i := int(ref.Server)
+		if s.nnServer[i][ref.Slot] != int32(m) {
 			continue
 		}
 		best := Infinity32
@@ -333,9 +333,9 @@ func (s *Schema) DeltaIfRemoved(k int32, m int) int64 {
 				best = c
 			}
 		}
-		d := p.Work.PerServer[i][ref.slot]
+		d := p.Work.PerServer[i][ref.Slot]
 		if d.Reads > 0 {
-			delta += d.Reads * ok * int64(best-s.nnCost[i][ref.slot])
+			delta += d.Reads * ok * int64(best-s.nnCost[i][ref.Slot])
 		}
 	}
 	return delta

@@ -254,9 +254,14 @@ type Options struct {
 	Workers int
 	// Seed feeds the randomized methods (GRA).
 	Seed int64
+	// Sync forces AGT-RAM's synchronous engine (the literal PARFOR rescan
+	// of Figure 2) instead of the default event-driven incremental one.
+	// Both produce identical allocations and payments; the incremental
+	// engine just performs far fewer valuation computations.
+	Sync bool
 	// Distributed runs AGT-RAM through its message-passing engine
-	// (goroutine per agent) instead of the synchronous-parallel one; the
-	// allocations are identical.
+	// (goroutine per agent) instead of the default one; the allocations
+	// are identical.
 	Distributed bool
 	// Network runs AGT-RAM through gob-encoded net.Pipe connections.
 	Network bool
@@ -266,7 +271,9 @@ type Options struct {
 	// FirstPrice switches AGT-RAM's payment rule (truthfulness ablation).
 	FirstPrice bool
 	// ExactValuation switches AGT-RAM's agents to exact global deltas
-	// (valuation ablation; incompatible with Distributed/Network).
+	// (valuation ablation; incompatible with Distributed/Network, and
+	// always served by the synchronous engine since it prices against
+	// shared global state).
 	ExactValuation bool
 	// GRAGenerations overrides the GA's generation budget.
 	GRAGenerations int
@@ -387,8 +394,10 @@ func (in *Instance) Solve(m Method, opts *Options) (*Result, error) {
 			res, err = agtram.SolveNetwork(in.prob, cfg)
 		case o.Distributed:
 			res, err = agtram.SolveDistributed(in.prob, cfg)
-		default:
+		case o.Sync || o.ExactValuation:
 			res, err = agtram.Solve(in.prob, cfg)
+		default:
+			res, err = agtram.SolveIncremental(in.prob, cfg)
 		}
 		if err != nil {
 			return nil, err
