@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -31,7 +32,7 @@ func benchConfig() bench.Config {
 
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Figure3(benchConfig()); err != nil {
+		if _, err := bench.Figure3(context.Background(), benchConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -39,7 +40,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Figure4(benchConfig()); err != nil {
+		if _, err := bench.Figure4(context.Background(), benchConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,7 +48,7 @@ func BenchmarkFigure4(b *testing.B) {
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Table1(benchConfig()); err != nil {
+		if _, err := bench.Table1(context.Background(), benchConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -55,7 +56,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Table2(benchConfig()); err != nil {
+		if _, err := bench.Table2(context.Background(), benchConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,7 +64,7 @@ func BenchmarkTable2(b *testing.B) {
 
 func BenchmarkAblationPayment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.AblationPayment(benchConfig()); err != nil {
+		if _, err := bench.AblationPayment(context.Background(), benchConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +72,7 @@ func BenchmarkAblationPayment(b *testing.B) {
 
 func BenchmarkAblationValuation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.AblationValuation(benchConfig()); err != nil {
+		if _, err := bench.AblationValuation(context.Background(), benchConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -79,7 +80,7 @@ func BenchmarkAblationValuation(b *testing.B) {
 
 func BenchmarkAblationEngine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.AblationEngine(benchConfig()); err != nil {
+		if _, err := bench.AblationEngine(context.Background(), benchConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -287,7 +288,7 @@ func BenchmarkHierarchy(b *testing.B) {
 				b.StopTimer()
 				p := testutil.MustBuild(testutil.Small(42))
 				b.StartTimer()
-				if _, err := hierarchy.Solve(p, hierarchy.Config{Regions: 4, Mode: mode}); err != nil {
+				if _, err := hierarchy.Solve(context.Background(), p, hierarchy.Config{Regions: 4, Mode: mode}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -314,7 +315,7 @@ func BenchmarkAdaptiveEpoch(b *testing.B) {
 	cost := topology.AllPairs(g, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := adaptive.Run(cost, ws, caps, adaptive.Config{}); err != nil {
+		if _, err := adaptive.Run(context.Background(), cost, ws, caps, adaptive.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -368,7 +369,7 @@ func BenchmarkExhaustiveOptimum(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exhaustive.Solve(p, 0); err != nil {
+		if _, err := exhaustive.Solve(context.Background(), p, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -379,7 +380,7 @@ func BenchmarkSolveTCPLoopback(b *testing.B) {
 		b.StopTimer()
 		p := testutil.MustBuild(testutil.Small(7))
 		b.StartTimer()
-		if _, err := agtram.SolveTCP(p, agtram.Config{}, "127.0.0.1:0"); err != nil {
+		if _, err := agtram.SolveTCP(context.Background(), p, agtram.Config{}, "127.0.0.1:0"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -36,9 +38,22 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		all      = flag.Bool("all", false, "run all six methods and print a comparison table")
 		report   = flag.String("report", "", "write the solved placement as a JSON report to this file")
+		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
+	if !*all && !repro.KnownMethod(repro.Method(*method)) {
+		fatal(fmt.Errorf("unknown -method %q (want %s)", *method, methodList()))
+	}
+	engineSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "engine" {
+			engineSet = true
+		}
+	})
+	if engineSet && repro.Method(*method) != repro.AGTRAM {
+		fatal(fmt.Errorf("-engine only applies to -method agt-ram (got -method %s)", *method))
+	}
 	switch *engine {
 	case "incremental", "sync", "distributed", "network":
 	default:
@@ -58,8 +73,15 @@ func main() {
 		Seed:            *seed,
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *all {
-		runAll(icfg, *workers, *seed)
+		runAll(ctx, icfg, *workers, *seed)
 		return
 	}
 
@@ -74,7 +96,7 @@ func main() {
 		Distributed: *engine == "distributed",
 		Network:     *engine == "network",
 	}
-	res, err := inst.Solve(repro.Method(*method), opts)
+	res, err := inst.SolveContext(ctx, repro.Method(*method), opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -116,7 +138,7 @@ func main() {
 	}
 }
 
-func runAll(icfg repro.InstanceConfig, workers int, seed int64) {
+func runAll(ctx context.Context, icfg repro.InstanceConfig, workers int, seed int64) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "method\tsavings %\treplicas\truntime\twork")
 	for _, m := range repro.Methods() {
@@ -124,7 +146,7 @@ func runAll(icfg repro.InstanceConfig, workers int, seed int64) {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := inst.Solve(m, &repro.Options{Workers: workers, Seed: seed})
+		res, err := inst.SolveContext(ctx, m, &repro.Options{Workers: workers, Seed: seed})
 		if err != nil {
 			fatal(err)
 		}
@@ -135,6 +157,14 @@ func runAll(icfg repro.InstanceConfig, workers int, seed int64) {
 	if err := tw.Flush(); err != nil {
 		fatal(err)
 	}
+}
+
+func methodList() string {
+	names := make([]string, 0, len(repro.Methods()))
+	for _, m := range repro.Methods() {
+		names = append(names, string(m))
+	}
+	return strings.Join(names, "|")
 }
 
 func fatal(err error) {

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +34,7 @@ import (
 
 type experiment struct {
 	name string
-	run  func(bench.Config) (*bench.Table, error)
+	run  func(context.Context, bench.Config) (*bench.Table, error)
 }
 
 var experiments = []experiment{
@@ -44,8 +45,8 @@ var experiments = []experiment{
 	{"update-ratio", bench.UpdateRatio},
 	{"regions", bench.Regions},
 	{"adaptive", bench.Adaptive},
-	{"multiseed", func(cfg bench.Config) (*bench.Table, error) { return bench.MultiSeed(cfg, 10) }},
-	{"optgap", func(cfg bench.Config) (*bench.Table, error) { return bench.OptimalityGap(cfg, 12) }},
+	{"multiseed", func(ctx context.Context, cfg bench.Config) (*bench.Table, error) { return bench.MultiSeed(ctx, cfg, 10) }},
+	{"optgap", func(ctx context.Context, cfg bench.Config) (*bench.Table, error) { return bench.OptimalityGap(ctx, cfg, 12) }},
 	{"ablation-payment", bench.AblationPayment},
 	{"ablation-valuation", bench.AblationValuation},
 	{"ablation-engine", bench.AblationEngine},
@@ -60,6 +61,7 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory to write CSV copies into")
 		chart   = flag.Bool("chart", false, "also render each result as an ASCII chart")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -73,6 +75,13 @@ func main() {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	selected := pick(target)
 	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "paperbench: unknown target %q\n", target)
@@ -80,7 +89,7 @@ func main() {
 	}
 	for _, e := range selected {
 		fmt.Fprintf(os.Stderr, "== %s (scale %.3f, seed %d)\n", e.name, *scale, *seed)
-		table, err := e.run(cfg)
+		table, err := e.run(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", e.name, err)
 			os.Exit(1)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -44,11 +45,11 @@ func main() {
 	}
 	cost := topology.AllPairs(g, 0)
 
-	migrating, err := adaptive.Run(cost, ws, caps, adaptive.Config{})
+	migrating, err := adaptive.Run(context.Background(), cost, ws, caps, adaptive.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	frozen, err := adaptive.Run(cost, ws, caps, adaptive.Config{FreezePlacement: true})
+	frozen, err := adaptive.Run(context.Background(), cost, ws, caps, adaptive.Config{FreezePlacement: true})
 	if err != nil {
 		log.Fatal(err)
 	}

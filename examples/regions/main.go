@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 		RWRatio: 0.9, CapacityPercent: 15, EdgeP: 0.3, Seed: 21,
 	}
 
-	flat, err := agtram.Solve(testutil.MustBuild(cfg), agtram.Config{})
+	flat, err := agtram.Solve(context.Background(), testutil.MustBuild(cfg), agtram.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func main() {
 		flat.Schema.Savings(), cfg.Servers)
 
 	for _, regions := range []int{4, 8} {
-		h, err := hierarchy.Solve(testutil.MustBuild(cfg), hierarchy.Config{Regions: regions})
+		h, err := hierarchy.Solve(context.Background(), testutil.MustBuild(cfg), hierarchy.Config{Regions: regions})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func main() {
 	}
 
 	// Kill the central body halfway through; the regions keep going.
-	h, err := hierarchy.Solve(testutil.MustBuild(cfg), hierarchy.Config{
+	h, err := hierarchy.Solve(context.Background(), testutil.MustBuild(cfg), hierarchy.Config{
 		Regions:       8,
 		TopFailsAfter: 40,
 	})
@@ -56,7 +57,7 @@ func main() {
 		h.Schema.Savings())
 
 	// A whole region can fail too.
-	f, err := hierarchy.Solve(testutil.MustBuild(cfg), hierarchy.Config{
+	f, err := hierarchy.Solve(context.Background(), testutil.MustBuild(cfg), hierarchy.Config{
 		Regions:       8,
 		FailedRegions: []int{2, 5},
 	})

@@ -16,6 +16,7 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/candidates"
@@ -70,8 +71,10 @@ func (r *Result) MeanSavings() float64 {
 // Run executes the adaptive protocol over a sequence of per-epoch
 // workloads. All workloads must describe the same system: identical M, N,
 // object sizes and primary assignments. The cost matrix and capacities are
-// shared across epochs.
-func Run(cost replication.CostFn, epochs []*workload.Workload, capacity []int64, cfg Config) (*Result, error) {
+// shared across epochs. ctx is checked at every epoch boundary and every
+// resumed mechanism round; on cancellation Run returns ctx.Err() wrapped
+// with the package name.
+func Run(ctx context.Context, cost replication.CostFn, epochs []*workload.Workload, capacity []int64, cfg Config) (*Result, error) {
 	if len(epochs) == 0 {
 		return nil, fmt.Errorf("adaptive: no epochs")
 	}
@@ -90,6 +93,9 @@ func Run(cost replication.CostFn, epochs []*workload.Workload, capacity []int64,
 	var carried []placement
 
 	for e, w := range epochs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("adaptive: %w", err)
+		}
 		prob, err := replication.NewProblem(cost, w, capacity)
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: epoch %d: %w", e, err)
@@ -112,7 +118,7 @@ func Run(cost replication.CostFn, epochs []*workload.Workload, capacity []int64,
 			stats.Kept -= stats.Dropped
 
 			// 3. Migration in: resume the sealed-bid mechanism.
-			added, err := resumeMechanism(schema, cfg)
+			added, err := resumeMechanism(ctx, schema, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -168,11 +174,14 @@ func dropHarmful(s *replication.Schema) int {
 }
 
 // resumeMechanism runs AGT-RAM rounds starting from the carried schema.
-func resumeMechanism(s *replication.Schema, cfg Config) (int, error) {
+func resumeMechanism(ctx context.Context, s *replication.Schema, cfg Config) (int, error) {
 	p := s.Problem()
 	agents := candidates.BuildAgentsFrom(s)
 	added := 0
 	for cfg.MaxRoundsPerEpoch <= 0 || added < cfg.MaxRoundsPerEpoch {
+		if err := ctx.Err(); err != nil {
+			return added, fmt.Errorf("adaptive: %w", err)
+		}
 		bids := make([]mechanism.Bid, 0, len(agents))
 		live := agents[:0]
 		for _, a := range agents {

@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -70,7 +71,7 @@ func TestGenerateEpochsFixedCatalogue(t *testing.T) {
 
 func TestRunSingleEpochMatchesMechanism(t *testing.T) {
 	cost, ws, caps := testSystem(t, 2, 1)
-	res, err := Run(cost, ws, caps, Config{})
+	res, err := Run(context.Background(), cost, ws, caps, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestRunSingleEpochMatchesMechanism(t *testing.T) {
 
 func TestRunMigratesUnderDrift(t *testing.T) {
 	cost, ws, caps := testSystem(t, 3, 5)
-	res, err := Run(cost, ws, caps, Config{})
+	res, err := Run(context.Background(), cost, ws, caps, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +119,11 @@ func TestRunMigratesUnderDrift(t *testing.T) {
 // epochs — the reason the paper frames AGT-RAM as a protocol.
 func TestMigrationBeatsFrozenPlacement(t *testing.T) {
 	cost, ws, caps := testSystem(t, 4, 6)
-	adaptiveRes, err := Run(cost, ws, caps, Config{})
+	adaptiveRes, err := Run(context.Background(), cost, ws, caps, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	frozenRes, err := Run(cost, ws, caps, Config{FreezePlacement: true})
+	frozenRes, err := Run(context.Background(), cost, ws, caps, Config{FreezePlacement: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,25 +134,25 @@ func TestMigrationBeatsFrozenPlacement(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := Run(nil, nil, nil, Config{}); err == nil {
+	if _, err := Run(context.Background(), nil, nil, nil, Config{}); err == nil {
 		t.Fatal("empty epochs accepted")
 	}
 	cost, ws, caps := testSystem(t, 5, 2)
 	// Corrupt the second epoch's catalogue.
 	ws[1].ObjectSize[0]++
-	if _, err := Run(cost, ws, caps, Config{}); err == nil {
+	if _, err := Run(context.Background(), cost, ws, caps, Config{}); err == nil {
 		t.Fatal("catalogue drift accepted")
 	}
 	ws[1].ObjectSize[0]--
 	ws[1].Primary[3] = (ws[1].Primary[3] + 1) % int32(ws[1].M)
-	if _, err := Run(cost, ws, caps, Config{}); err == nil {
+	if _, err := Run(context.Background(), cost, ws, caps, Config{}); err == nil {
 		t.Fatal("primary drift accepted")
 	}
 }
 
 func TestMaxRoundsPerEpoch(t *testing.T) {
 	cost, ws, caps := testSystem(t, 6, 2)
-	res, err := Run(cost, ws, caps, Config{MaxRoundsPerEpoch: 3})
+	res, err := Run(context.Background(), cost, ws, caps, Config{MaxRoundsPerEpoch: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestAdaptiveValidProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Run(topology.AllPairs(g, 0), ws, caps, Config{})
+		res, err := Run(context.Background(), topology.AllPairs(g, 0), ws, caps, Config{})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package agtram
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -88,7 +89,11 @@ type Result struct {
 // Solve runs AGT-RAM with synchronous parallel rounds (Figure 2). Agents
 // scan their candidate lists concurrently; the central mechanism then takes
 // its single binary decision and broadcasts it.
-func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+//
+// ctx is checked at the top of every round; on cancellation Solve returns
+// ctx.Err() wrapped with the package name and the caller's Problem is left
+// untouched (the mechanism works on a fresh schema).
+func Solve(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("agtram: nil problem")
 	}
@@ -110,6 +115,9 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 	hasBid := make([]bool, len(agents))
 
 	for cfg.MaxRounds <= 0 || res.Rounds < cfg.MaxRounds {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("agtram: %w", err)
+		}
 		if len(agents) == 0 {
 			break
 		}

@@ -1,6 +1,7 @@
 package agtram
 
 import (
+	"context"
 	"net"
 	"testing"
 	"testing/quick"
@@ -14,7 +15,7 @@ import (
 
 func TestSolveImproves(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(1))
-	res, err := Solve(p, Config{})
+	res, err := Solve(context.Background(), p, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,13 +34,13 @@ func TestSolveImproves(t *testing.T) {
 }
 
 func TestSolveNilProblem(t *testing.T) {
-	if _, err := Solve(nil, Config{}); err == nil {
+	if _, err := Solve(context.Background(), nil, Config{}); err == nil {
 		t.Fatal("nil problem accepted")
 	}
-	if _, err := SolveDistributed(nil, Config{}); err == nil {
+	if _, err := SolveDistributed(context.Background(), nil, Config{}); err == nil {
 		t.Fatal("nil problem accepted (distributed)")
 	}
-	if _, err := SolveNetwork(nil, Config{}); err == nil {
+	if _, err := SolveNetwork(context.Background(), nil, Config{}); err == nil {
 		t.Fatal("nil problem accepted (network)")
 	}
 }
@@ -47,11 +48,11 @@ func TestSolveNilProblem(t *testing.T) {
 func TestSolveDeterministicAcrossWorkers(t *testing.T) {
 	p1 := testutil.MustBuild(testutil.Small(2))
 	p2 := testutil.MustBuild(testutil.Small(2))
-	r1, err := Solve(p1, Config{Workers: 1})
+	r1, err := Solve(context.Background(), p1, Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := Solve(p2, Config{Workers: 8})
+	r8, err := Solve(context.Background(), p2, Config{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +62,11 @@ func TestSolveDeterministicAcrossWorkers(t *testing.T) {
 func TestEnginesAgree(t *testing.T) {
 	cfg := testutil.Small(3)
 	sync := mustSolve(t, testutil.MustBuild(cfg), Config{})
-	dist, err := SolveDistributed(testutil.MustBuild(cfg), Config{})
+	dist, err := SolveDistributed(context.Background(), testutil.MustBuild(cfg), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	netres, err := SolveNetwork(testutil.MustBuild(cfg), Config{})
+	netres, err := SolveNetwork(context.Background(), testutil.MustBuild(cfg), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,17 +76,17 @@ func TestEnginesAgree(t *testing.T) {
 
 func TestDistributedRejectsExactValuation(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(4))
-	if _, err := SolveDistributed(p, Config{Valuation: ExactDelta}); err == nil {
+	if _, err := SolveDistributed(context.Background(), p, Config{Valuation: ExactDelta}); err == nil {
 		t.Fatal("exact valuation should be rejected by the distributed engine")
 	}
-	if _, err := SolveNetwork(p, Config{Valuation: ExactDelta}); err == nil {
+	if _, err := SolveNetwork(context.Background(), p, Config{Valuation: ExactDelta}); err == nil {
 		t.Fatal("exact valuation should be rejected by the network engine")
 	}
 }
 
 func TestMaxRounds(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(5))
-	res, err := Solve(p, Config{MaxRounds: 3})
+	res, err := Solve(context.Background(), p, Config{MaxRounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,14 +94,14 @@ func TestMaxRounds(t *testing.T) {
 		t.Fatalf("rounds = %d, want <= 3", res.Rounds)
 	}
 	// Distributed engines honor the cap too.
-	d, err := SolveDistributed(testutil.MustBuild(testutil.Small(5)), Config{MaxRounds: 3})
+	d, err := SolveDistributed(context.Background(), testutil.MustBuild(testutil.Small(5)), Config{MaxRounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.Rounds > 3 {
 		t.Fatalf("distributed rounds = %d", d.Rounds)
 	}
-	n, err := SolveNetwork(testutil.MustBuild(testutil.Small(5)), Config{MaxRounds: 3})
+	n, err := SolveNetwork(context.Background(), testutil.MustBuild(testutil.Small(5)), Config{MaxRounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,11 +276,11 @@ func TestEnginesAgreeProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		s, err := Solve(p1, Config{})
+		s, err := Solve(context.Background(), p1, Config{})
 		if err != nil {
 			return false
 		}
-		d, err := SolveDistributed(p2, Config{})
+		d, err := SolveDistributed(context.Background(), p2, Config{})
 		if err != nil {
 			return false
 		}
@@ -300,7 +301,7 @@ func TestEnginesAgreeProperty(t *testing.T) {
 
 func mustSolve(t *testing.T, p *replication.Problem, cfg Config) *Result {
 	t.Helper()
-	res, err := Solve(p, cfg)
+	res, err := Solve(context.Background(), p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func assertSameAllocations(t *testing.T, a, b *Result) {
 func TestSolveTCPAgreesWithSync(t *testing.T) {
 	cfg := testutil.Small(12)
 	sync := mustSolve(t, testutil.MustBuild(cfg), Config{})
-	tcp, err := SolveTCP(testutil.MustBuild(cfg), Config{}, "127.0.0.1:0")
+	tcp, err := SolveTCP(context.Background(), testutil.MustBuild(cfg), Config{}, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,14 +334,14 @@ func TestSolveTCPAgreesWithSync(t *testing.T) {
 }
 
 func TestSolveTCPErrors(t *testing.T) {
-	if _, err := SolveTCP(nil, Config{}, "127.0.0.1:0"); err == nil {
+	if _, err := SolveTCP(context.Background(), nil, Config{}, "127.0.0.1:0"); err == nil {
 		t.Fatal("nil problem accepted")
 	}
 	p := testutil.MustBuild(testutil.Small(13))
-	if _, err := SolveTCP(p, Config{Valuation: ExactDelta}, "127.0.0.1:0"); err == nil {
+	if _, err := SolveTCP(context.Background(), p, Config{Valuation: ExactDelta}, "127.0.0.1:0"); err == nil {
 		t.Fatal("exact valuation accepted over TCP")
 	}
-	if _, err := SolveTCP(p, Config{}, "256.0.0.1:bad"); err == nil {
+	if _, err := SolveTCP(context.Background(), p, Config{}, "256.0.0.1:bad"); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }
@@ -350,17 +351,17 @@ func TestRunRemoteAgentBadID(t *testing.T) {
 	c1, c2 := net.Pipe()
 	defer c1.Close()
 	defer c2.Close()
-	if err := RunRemoteAgent(c1, p, -1); err == nil {
+	if err := RunRemoteAgent(context.Background(), c1, p, -1); err == nil {
 		t.Fatal("negative agent id accepted")
 	}
-	if err := RunRemoteAgent(c1, p, p.M); err == nil {
+	if err := RunRemoteAgent(context.Background(), c1, p, p.M); err == nil {
 		t.Fatal("out-of-range agent id accepted")
 	}
 }
 
 func TestSolveTCPMaxRounds(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(15))
-	res, err := SolveTCP(p, Config{MaxRounds: 2}, "127.0.0.1:0")
+	res, err := SolveTCP(context.Background(), p, Config{MaxRounds: 2}, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestSolveTCPMaxRounds(t *testing.T) {
 func TestOnRoundObserver(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(16))
 	var seen []Allocation
-	res, err := Solve(p, Config{OnRound: func(a Allocation) { seen = append(seen, a) }})
+	res, err := Solve(context.Background(), p, Config{OnRound: func(a Allocation) { seen = append(seen, a) }})
 	if err != nil {
 		t.Fatal(err)
 	}

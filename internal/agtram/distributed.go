@@ -1,7 +1,9 @@
 package agtram
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/mechanism"
 	"repro/internal/replication"
@@ -33,20 +35,31 @@ type awardMsg struct {
 // mechanism goroutine, communicating only through channels. Agents keep
 // purely local state (their candidate lists and NN caches); the mechanism
 // keeps the schema. The allocation sequence is identical to Solve.
-func SolveDistributed(p *replication.Problem, cfg Config) (*Result, error) {
+//
+// ctx is checked at the top of every round. On cancellation the mechanism
+// broadcasts the Done frame, waits for every agent goroutine to exit, and
+// returns ctx.Err() wrapped with the package name. The broadcast cannot
+// block: award channels are buffered and every live agent consumes exactly
+// one award per bid it sent.
+func SolveDistributed(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("agtram: nil problem")
 	}
 	if cfg.Valuation == ExactDelta {
 		return nil, fmt.Errorf("agtram: exact-delta valuation needs global state and cannot run distributed")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("agtram: %w", err)
+	}
 
 	bidCh := make(chan bidMsg, p.M)
 	awardChs := make([]chan awardMsg, p.M)
+	var wg sync.WaitGroup
 
 	// Agent loop: bid, await broadcast, update local state, repeat. A nil
 	// candidate list makes the agent send None once and exit.
 	agentLoop := func(a *agentState, awards <-chan awardMsg) {
+		defer wg.Done()
 		for {
 			obj, val, ok := a.best()
 			bidCh <- bidMsg{Agent: a.id, Object: obj, Value: val, None: !ok}
@@ -80,6 +93,7 @@ func SolveDistributed(p *replication.Problem, cfg Config) (*Result, error) {
 		}
 		awardChs[i] = make(chan awardMsg, 1)
 		active[i] = true
+		wg.Add(1)
 		go agentLoop(a, awardChs[i])
 	}
 
@@ -94,6 +108,11 @@ func SolveDistributed(p *replication.Problem, cfg Config) (*Result, error) {
 	}
 
 	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			broadcast(awardMsg{Done: true})
+			wg.Wait()
+			return nil, fmt.Errorf("agtram: %w", err)
+		}
 		if cfg.MaxRounds > 0 && res.Rounds >= cfg.MaxRounds {
 			break
 		}
@@ -116,17 +135,23 @@ func SolveDistributed(p *replication.Problem, cfg Config) (*Result, error) {
 		winner := round.Winner
 		if _, err := schema.PlaceReplica(winner.Item, winner.Agent); err != nil {
 			broadcast(awardMsg{Done: true})
+			wg.Wait()
 			return nil, fmt.Errorf("agtram: winning bid infeasible: %w", err)
 		}
-		res.Allocations = append(res.Allocations, Allocation{
+		alloc := Allocation{
 			Round: res.Rounds, Object: winner.Item, Server: int32(winner.Agent),
 			Value: winner.Value, Payment: round.Payment,
-		})
+		}
+		res.Allocations = append(res.Allocations, alloc)
 		res.Payments[winner.Agent] += round.Payment
 		res.Rounds++
 		res.Valuations += int64(len(bids)) // lower bound: one scan per live agent
+		if cfg.OnRound != nil {
+			cfg.OnRound(alloc)
+		}
 		broadcast(awardMsg{Object: winner.Item, Server: int32(winner.Agent), Payment: round.Payment})
 	}
 	broadcast(awardMsg{Done: true})
+	wg.Wait()
 	return res, nil
 }

@@ -2,6 +2,7 @@ package agtram
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/mechanism"
@@ -37,7 +38,9 @@ import (
 //
 // The ExactDelta valuation is rejected: it needs the shared schema and is
 // served by Solve (the ablation path).
-func SolveIncremental(p *replication.Problem, cfg Config) (*Result, error) {
+//
+// ctx is checked at the top of every round, same contract as Solve.
+func SolveIncremental(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("agtram: nil problem")
 	}
@@ -76,6 +79,9 @@ func SolveIncremental(p *replication.Problem, cfg Config) (*Result, error) {
 	heap.Init(bh)
 
 	for cfg.MaxRounds <= 0 || res.Rounds < cfg.MaxRounds {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("agtram: %w", err)
+		}
 		winner, second, ok := bh.settle(cfg.Payment, &res.Valuations)
 		if !ok {
 			break

@@ -1,6 +1,7 @@
 package agtram
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/mechanism"
@@ -8,21 +9,21 @@ import (
 )
 
 func TestIncrementalNilProblem(t *testing.T) {
-	if _, err := SolveIncremental(nil, Config{}); err == nil {
+	if _, err := SolveIncremental(context.Background(), nil, Config{}); err == nil {
 		t.Fatal("nil problem accepted")
 	}
 }
 
 func TestIncrementalRejectsExactValuation(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(4))
-	if _, err := SolveIncremental(p, Config{Valuation: ExactDelta}); err == nil {
+	if _, err := SolveIncremental(context.Background(), p, Config{Valuation: ExactDelta}); err == nil {
 		t.Fatal("exact valuation should be rejected by the incremental engine")
 	}
 }
 
 func TestIncrementalMaxRounds(t *testing.T) {
 	sync := mustSolve(t, testutil.MustBuild(testutil.Small(5)), Config{MaxRounds: 3})
-	inc, err := SolveIncremental(testutil.MustBuild(testutil.Small(5)), Config{MaxRounds: 3})
+	inc, err := SolveIncremental(context.Background(), testutil.MustBuild(testutil.Small(5)), Config{MaxRounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestIncrementalMaxRounds(t *testing.T) {
 func TestIncrementalOnRound(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(16))
 	var seen []Allocation
-	res, err := SolveIncremental(p, Config{OnRound: func(a Allocation) { seen = append(seen, a) }})
+	res, err := SolveIncremental(context.Background(), p, Config{OnRound: func(a Allocation) { seen = append(seen, a) }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestIncrementalOnRound(t *testing.T) {
 func TestIncrementalFirstPriceAgrees(t *testing.T) {
 	cfg := Config{Payment: mechanism.FirstPrice}
 	sync := mustSolve(t, testutil.MustBuild(testutil.Small(9)), cfg)
-	inc, err := SolveIncremental(testutil.MustBuild(testutil.Small(9)), cfg)
+	inc, err := SolveIncremental(context.Background(), testutil.MustBuild(testutil.Small(9)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestIncrementalFirstPriceAgrees(t *testing.T) {
 func TestIncrementalDoesLessWork(t *testing.T) {
 	cfg := testutil.Medium(21)
 	sync := mustSolve(t, testutil.MustBuild(cfg), Config{})
-	inc, err := SolveIncremental(testutil.MustBuild(cfg), Config{})
+	inc, err := SolveIncremental(context.Background(), testutil.MustBuild(cfg), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,15 +99,15 @@ func TestDifferentialEngines(t *testing.T) {
 			EdgeP:           0.35,
 			Seed:            seed,
 		}
-		sync, err := Solve(testutil.MustBuild(cfg), Config{})
+		sync, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{})
 		if err != nil {
 			t.Fatalf("seed %d: sync: %v", seed, err)
 		}
-		inc, err := SolveIncremental(testutil.MustBuild(cfg), Config{})
+		inc, err := SolveIncremental(context.Background(), testutil.MustBuild(cfg), Config{})
 		if err != nil {
 			t.Fatalf("seed %d: incremental: %v", seed, err)
 		}
-		dist, err := SolveDistributed(testutil.MustBuild(cfg), Config{})
+		dist, err := SolveDistributed(context.Background(), testutil.MustBuild(cfg), Config{})
 		if err != nil {
 			t.Fatalf("seed %d: distributed: %v", seed, err)
 		}

@@ -1,9 +1,11 @@
 package agtram
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
 
 	"repro/internal/mechanism"
 	"repro/internal/replication"
@@ -17,12 +19,21 @@ import (
 //
 // The allocation sequence is identical to Solve and SolveDistributed; the
 // engine exists to exercise (and let tests verify) the wire protocol.
-func SolveNetwork(p *replication.Problem, cfg Config) (*Result, error) {
+//
+// ctx is checked at the top of every round; because the mechanism can also
+// be blocked inside a gob read or a synchronous pipe write, a watcher
+// goroutine closes every mechanism-side connection when ctx fires, which
+// unblocks the codec calls and lets every agent goroutine exit before
+// SolveNetwork returns ctx.Err() wrapped with the package name.
+func SolveNetwork(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("agtram: nil problem")
 	}
 	if cfg.Valuation == ExactDelta {
 		return nil, fmt.Errorf("agtram: exact-delta valuation needs global state and cannot run distributed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("agtram: %w", err)
 	}
 
 	type peer struct {
@@ -32,9 +43,12 @@ func SolveNetwork(p *replication.Problem, cfg Config) (*Result, error) {
 	}
 	peers := make(map[int]*peer, p.M)
 
+	var wg sync.WaitGroup
+
 	// agentConnLoop is the remote-server side: purely local state, speaks
 	// only the wire protocol.
 	agentConnLoop := func(a *agentState, conn net.Conn) {
+		defer wg.Done()
 		defer conn.Close()
 		enc := gob.NewEncoder(conn)
 		dec := gob.NewDecoder(conn)
@@ -59,6 +73,7 @@ func SolveNetwork(p *replication.Problem, cfg Config) (*Result, error) {
 	}
 
 	order := make([]int, 0, p.M)
+	mconns := make([]net.Conn, 0, p.M)
 	for i := 0; i < p.M; i++ {
 		a := newAgentState(p, i)
 		if !a.active() {
@@ -67,11 +82,30 @@ func SolveNetwork(p *replication.Problem, cfg Config) (*Result, error) {
 		mside, aside := net.Pipe()
 		peers[i] = &peer{conn: mside, enc: gob.NewEncoder(mside), dec: gob.NewDecoder(mside)}
 		order = append(order, i)
+		mconns = append(mconns, mside)
+		wg.Add(1)
 		go agentConnLoop(a, aside)
 	}
+	// Teardown order (LIFO defers): close every mechanism-side pipe end —
+	// which unblocks any agent stuck in a synchronous Encode/Decode — stop
+	// the watcher, then wait for every agent goroutine to exit.
+	defer wg.Wait()
+	stop := make(chan struct{})
+	defer close(stop)
 	defer func() {
-		for _, pe := range peers {
-			pe.conn.Close()
+		for _, c := range mconns {
+			c.Close()
+		}
+	}()
+	// The watcher breaks codec calls blocked on the synchronous pipe when
+	// ctx fires; net.Pipe Close is safe to race with the loop's own closes.
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, c := range mconns {
+				c.Close()
+			}
+		case <-stop:
 		}
 	}()
 
@@ -80,11 +114,17 @@ func SolveNetwork(p *replication.Problem, cfg Config) (*Result, error) {
 	bids := make([]mechanism.Bid, 0, len(order))
 
 	for len(order) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("agtram: %w", err)
+		}
 		bids = bids[:0]
 		live := order[:0]
 		for _, i := range order {
 			var m bidMsg
 			if err := peers[i].dec.Decode(&m); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("agtram: %w", cerr)
+				}
 				return nil, fmt.Errorf("agtram: reading bid from agent %d: %w", i, err)
 			}
 			if m.None {
@@ -109,16 +149,23 @@ func SolveNetwork(p *replication.Problem, cfg Config) (*Result, error) {
 		if _, err := schema.PlaceReplica(winner.Item, winner.Agent); err != nil {
 			return nil, fmt.Errorf("agtram: winning bid infeasible: %w", err)
 		}
-		res.Allocations = append(res.Allocations, Allocation{
+		alloc := Allocation{
 			Round: res.Rounds, Object: winner.Item, Server: int32(winner.Agent),
 			Value: winner.Value, Payment: round.Payment,
-		})
+		}
+		res.Allocations = append(res.Allocations, alloc)
 		res.Payments[winner.Agent] += round.Payment
 		res.Rounds++
 		res.Valuations += int64(len(bids))
+		if cfg.OnRound != nil {
+			cfg.OnRound(alloc)
+		}
 		aw := awardMsg{Object: winner.Item, Server: int32(winner.Agent), Payment: round.Payment}
 		for _, i := range order {
 			if err := peers[i].enc.Encode(aw); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("agtram: %w", cerr)
+				}
 				return nil, fmt.Errorf("agtram: broadcasting to agent %d: %w", i, err)
 			}
 		}

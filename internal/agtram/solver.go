@@ -1,0 +1,101 @@
+package agtram
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/mechanism"
+	"repro/internal/replication"
+	"repro/internal/solver"
+)
+
+// Engine names accepted by the "agt-ram" solver's Options.Engine. The five
+// engines run the identical mechanism — same allocations, same payments —
+// over different execution substrates.
+const (
+	EngineIncremental = "incremental"
+	EngineSync        = "sync"
+	EngineDistributed = "distributed"
+	EngineNetwork     = "network"
+	EngineTCP         = "tcp"
+)
+
+// Engines lists the selectable engines in documentation order.
+func Engines() []string {
+	return []string{EngineIncremental, EngineSync, EngineDistributed, EngineNetwork, EngineTCP}
+}
+
+// agtSolver adapts the five AGT-RAM engines to the solver registry; the
+// facade's old engine sub-switch lives here now, as Options.Engine.
+type agtSolver struct{}
+
+func init() { solver.Register(agtSolver{}) }
+
+func (agtSolver) Name() string  { return "agt-ram" }
+func (agtSolver) Label() string { return "AGT-RAM" }
+func (agtSolver) Description() string {
+	return "the paper's mechanism: sealed-bid rounds, Vickrey payments, five interchangeable engines"
+}
+
+func (agtSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.Options) (*solver.Outcome, error) {
+	cfg := Config{Workers: opts.Workers}
+	if opts.FirstPrice {
+		cfg.Payment = mechanism.FirstPrice
+	}
+	if opts.ExactValuation {
+		cfg.Valuation = ExactDelta
+	}
+	engine := opts.Engine
+	if engine == "" {
+		switch {
+		case opts.TCPAddr != "":
+			engine = EngineTCP
+		case opts.ExactValuation:
+			// The incremental engine's lazy heaps need the local CoR
+			// valuation; the exact-delta ablation runs synchronous.
+			engine = EngineSync
+		default:
+			engine = EngineIncremental
+		}
+	}
+	out := &solver.Outcome{}
+	if opts.OnEvent != nil || opts.RecordEvents {
+		cfg.OnRound = func(al Allocation) {
+			out.Emit(opts, solver.Event{
+				Round: al.Round + 1, Object: al.Object, Server: al.Server,
+				Value: al.Value, Payment: al.Payment,
+			})
+		}
+	}
+	var (
+		res *Result
+		err error
+	)
+	switch engine {
+	case EngineIncremental:
+		res, err = SolveIncremental(ctx, p, cfg)
+	case EngineSync:
+		res, err = Solve(ctx, p, cfg)
+	case EngineDistributed:
+		res, err = SolveDistributed(ctx, p, cfg)
+	case EngineNetwork:
+		res, err = SolveNetwork(ctx, p, cfg)
+	case EngineTCP:
+		addr := opts.TCPAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		res, err = SolveTCP(ctx, p, cfg, addr)
+	default:
+		return nil, fmt.Errorf("agtram: unknown engine %q (want incremental|sync|distributed|network|tcp)", engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Schema = res.Schema
+	out.Replicas = len(res.Allocations)
+	out.Work = res.Valuations
+	out.Rounds = res.Rounds
+	out.Payments = res.Payments
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package agtram
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -20,21 +21,41 @@ type helloMsg struct {
 // established connection: hello, then rounds of one bid up / one award
 // down, leaving the game by sending a bid with None set. A real deployment
 // runs this in the server process; the tests and SolveTCP run it in a
-// goroutine over loopback. The function returns when the protocol ends or
-// the connection breaks.
-func RunRemoteAgent(conn net.Conn, p *replication.Problem, agentID int) error {
+// goroutine over loopback. The function returns when the protocol ends, the
+// connection breaks, or ctx is cancelled — cancellation closes conn to
+// unblock any in-flight codec call and returns ctx.Err() wrapped with the
+// package name.
+func RunRemoteAgent(ctx context.Context, conn net.Conn, p *replication.Problem, agentID int) error {
 	if agentID < 0 || agentID >= p.M {
 		return fmt.Errorf("agtram: agent id %d out of range [0,%d)", agentID, p.M)
 	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(helloMsg{Agent: agentID}); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("agtram: %w", cerr)
+		}
 		return fmt.Errorf("agtram: sending hello: %w", err)
 	}
 	a := newAgentState(p, agentID)
 	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("agtram: %w", err)
+		}
 		obj, val, ok := a.best()
 		if err := enc.Encode(bidMsg{Agent: agentID, Object: obj, Value: val, None: !ok}); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("agtram: %w", cerr)
+			}
 			return fmt.Errorf("agtram: sending bid: %w", err)
 		}
 		if !ok {
@@ -42,6 +63,9 @@ func RunRemoteAgent(conn net.Conn, p *replication.Problem, agentID int) error {
 		}
 		var aw awardMsg
 		if err := dec.Decode(&aw); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("agtram: %w", cerr)
+			}
 			return fmt.Errorf("agtram: reading award: %w", err)
 		}
 		if aw.Done {
@@ -64,18 +88,46 @@ func RunRemoteAgent(conn net.Conn, p *replication.Problem, agentID int) error {
 // This is the deployment-shaped engine: the agent side only needs the
 // public problem data and its own id, so the same protocol runs unchanged
 // with agents in separate processes or hosts.
-func SolveTCP(p *replication.Problem, cfg Config, addr string) (*Result, error) {
+//
+// ctx is checked at the top of every round; a watcher goroutine closes the
+// listener and every accepted connection when ctx fires, so accepts and
+// codec calls blocked on the sockets unwind, every agent goroutine exits,
+// and SolveTCP returns ctx.Err() wrapped with the package name.
+func SolveTCP(ctx context.Context, p *replication.Problem, cfg Config, addr string) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("agtram: nil problem")
 	}
 	if cfg.Valuation == ExactDelta {
 		return nil, fmt.Errorf("agtram: exact-delta valuation needs global state and cannot run distributed")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("agtram: %w", err)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("agtram: listen: %w", err)
 	}
 	defer ln.Close()
+
+	// The watcher tears the transport down when ctx fires. conns is
+	// append-only under connMu; TCP closes are idempotent, so racing the
+	// loop's own per-peer closes is safe.
+	var connMu sync.Mutex
+	var conns []net.Conn
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+			connMu.Lock()
+			defer connMu.Unlock()
+			for _, c := range conns {
+				c.Close()
+			}
+		case <-stop:
+		}
+	}()
 
 	// Which servers participate at all.
 	var expected []int
@@ -98,7 +150,7 @@ func SolveTCP(p *replication.Problem, cfg Config, addr string) (*Result, error) 
 				return
 			}
 			defer conn.Close()
-			if err := RunRemoteAgent(conn, p, id); err != nil {
+			if err := RunRemoteAgent(ctx, conn, p, id); err != nil {
 				agentErrs.Store(id, err)
 			}
 		}(id)
@@ -120,12 +172,21 @@ func SolveTCP(p *replication.Problem, cfg Config, addr string) (*Result, error) 
 	for range expected {
 		conn, err := ln.Accept()
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("agtram: %w", cerr)
+			}
 			return nil, fmt.Errorf("agtram: accept: %w", err)
 		}
+		connMu.Lock()
+		conns = append(conns, conn)
+		connMu.Unlock()
 		dec := gob.NewDecoder(conn)
 		var hello helloMsg
 		if err := dec.Decode(&hello); err != nil {
 			conn.Close()
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("agtram: %w", cerr)
+			}
 			return nil, fmt.Errorf("agtram: reading hello: %w", err)
 		}
 		if hello.Agent < 0 || hello.Agent >= p.M || peers[hello.Agent] != nil {
@@ -141,11 +202,17 @@ func SolveTCP(p *replication.Problem, cfg Config, addr string) (*Result, error) 
 	bids := make([]mechanism.Bid, 0, len(order))
 
 	for len(order) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("agtram: %w", err)
+		}
 		bids = bids[:0]
 		live := order[:0]
 		for _, i := range order {
 			var m bidMsg
 			if err := peers[i].dec.Decode(&m); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("agtram: %w", cerr)
+				}
 				return nil, fmt.Errorf("agtram: reading bid from agent %d: %w", i, err)
 			}
 			if m.None {
@@ -168,16 +235,23 @@ func SolveTCP(p *replication.Problem, cfg Config, addr string) (*Result, error) 
 		if _, err := schema.PlaceReplica(winner.Item, winner.Agent); err != nil {
 			return nil, fmt.Errorf("agtram: winning bid infeasible: %w", err)
 		}
-		res.Allocations = append(res.Allocations, Allocation{
+		alloc := Allocation{
 			Round: res.Rounds, Object: winner.Item, Server: int32(winner.Agent),
 			Value: winner.Value, Payment: round.Payment,
-		})
+		}
+		res.Allocations = append(res.Allocations, alloc)
 		res.Payments[winner.Agent] += round.Payment
 		res.Rounds++
 		res.Valuations += int64(len(bids))
+		if cfg.OnRound != nil {
+			cfg.OnRound(alloc)
+		}
 		aw := awardMsg{Object: winner.Item, Server: int32(winner.Agent), Payment: round.Payment}
 		for _, i := range order {
 			if err := peers[i].enc.Encode(aw); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("agtram: %w", cerr)
+				}
 				return nil, fmt.Errorf("agtram: broadcasting to agent %d: %w", i, err)
 			}
 		}

@@ -19,6 +19,7 @@ package astar
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,6 +38,9 @@ type Config struct {
 	// running-time band the paper reports (slower than the auctions,
 	// faster than GRA).
 	NodeBudget int
+	// OnExpand, when non-nil, observes each node expansion: the running
+	// expansion count and the incumbent's OTC after the expansion.
+	OnExpand func(expanded int, incumbent int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -86,8 +90,10 @@ func (h *nodeHeap) Pop() interface{} {
 	return it
 }
 
-// Solve runs the bounded Aε-Star search.
-func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+// Solve runs the bounded Aε-Star search. ctx is checked before every node
+// expansion; on cancellation Solve returns ctx.Err() wrapped with the
+// package name.
+func Solve(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("astar: nil problem")
 	}
@@ -95,6 +101,9 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("astar: negative epsilon %v", cfg.Epsilon)
 	}
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("astar: %w", err)
+	}
 
 	root := &node{schema: p.NewSchema(), pairs: candidates.Build(p, true)}
 	root.f = score(root, cfg.Epsilon)
@@ -107,8 +116,14 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 	seq := 1
 
 	for open.Len() > 0 && res.Expanded < cfg.NodeBudget {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("astar: %w", err)
+		}
 		n := heap.Pop(&open).(*node)
 		res.Expanded++
+		if cfg.OnExpand != nil {
+			cfg.OnExpand(res.Expanded, res.Schema.TotalCost())
+		}
 
 		// Rank this node's live candidates by current benefit.
 		type scored struct {

@@ -1,6 +1,7 @@
 package astar
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -10,7 +11,7 @@ import (
 
 func TestSolveImproves(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(1))
-	res, err := Solve(p, Config{})
+	res, err := Solve(context.Background(), p, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,18 +30,18 @@ func TestSolveImproves(t *testing.T) {
 }
 
 func TestSolveErrors(t *testing.T) {
-	if _, err := Solve(nil, Config{}); err == nil {
+	if _, err := Solve(context.Background(), nil, Config{}); err == nil {
 		t.Fatal("nil problem accepted")
 	}
 	p := testutil.MustBuild(testutil.Small(2))
-	if _, err := Solve(p, Config{Epsilon: -1}); err == nil {
+	if _, err := Solve(context.Background(), p, Config{Epsilon: -1}); err == nil {
 		t.Fatal("negative epsilon accepted")
 	}
 }
 
 func TestNodeBudgetRespected(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(3))
-	res, err := Solve(p, Config{NodeBudget: 5})
+	res, err := Solve(context.Background(), p, Config{NodeBudget: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +62,11 @@ func TestNeverWorseThanGreedyRollout(t *testing.T) {
 			Servers: 10, Objects: 40, Requests: 4000, RWRatio: 0.85,
 			CapacityPercent: 25, EdgeP: 0.4, Seed: seed,
 		}
-		a, err := Solve(testutil.MustBuild(cfg), Config{NodeBudget: 60})
+		a, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{NodeBudget: 60})
 		if err != nil {
 			t.Fatal(err)
 		}
-		g, err := greedy.Solve(testutil.MustBuild(cfg), greedy.Config{ByDensity: false})
+		g, err := greedy.Solve(context.Background(), testutil.MustBuild(cfg), greedy.Config{ByDensity: false})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,11 +79,11 @@ func TestNeverWorseThanGreedyRollout(t *testing.T) {
 
 func TestDeterministic(t *testing.T) {
 	cfg := testutil.Small(7)
-	a, err := Solve(testutil.MustBuild(cfg), Config{NodeBudget: 40})
+	a, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{NodeBudget: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(testutil.MustBuild(cfg), Config{NodeBudget: 40})
+	b, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{NodeBudget: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestSolveValidProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Solve(p, Config{NodeBudget: 30})
+		res, err := Solve(context.Background(), p, Config{NodeBudget: 30})
 		if err != nil {
 			return false
 		}

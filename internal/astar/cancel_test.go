@@ -1,0 +1,28 @@
+package astar
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestSolveCancelled(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, testutil.MustBuild(testutil.Small(43)), Config{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveCancelMidSearch(t *testing.T) {
+	testutil.LeakCheck(t)
+	// Survive the entry check and a few expansions, then die.
+	ctx := testutil.CancelAfterPolls(5)
+	_, err := Solve(ctx, testutil.MustBuild(testutil.Small(44)), Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,44 @@
+package astar
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/replication"
+	"repro/internal/solver"
+)
+
+// astarSolver adapts Aε-Star to the solver registry.
+type astarSolver struct{}
+
+func init() { solver.Register(astarSolver{}) }
+
+func (astarSolver) Name() string  { return "ae-star" }
+func (astarSolver) Label() string { return "Ae-Star" }
+func (astarSolver) Description() string {
+	return "ε-admissible branch and bound of [16] with greedy rollouts and a node budget"
+}
+
+func (astarSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.Options) (*solver.Outcome, error) {
+	if opts.Engine != "" {
+		return nil, fmt.Errorf("astar: unknown engine %q (ae-star has a single engine)", opts.Engine)
+	}
+	cfg := Config{}
+	out := &solver.Outcome{}
+	if opts.OnEvent != nil || opts.RecordEvents {
+		// Aε-Star improves an incumbent placement rather than committing
+		// replicas one by one, so its event stream is per expansion: Round
+		// is the expansion count, Value the incumbent OTC, Object/Server -1.
+		cfg.OnExpand = func(expanded int, incumbent int64) {
+			out.Emit(opts, solver.Event{Round: expanded, Object: -1, Server: -1, Value: incumbent})
+		}
+	}
+	res, err := Solve(ctx, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Schema = res.Schema
+	out.Replicas = res.Placed
+	out.Work = int64(res.Expanded)
+	return out, nil
+}

@@ -20,6 +20,7 @@
 package auction
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -53,6 +54,9 @@ type Config struct {
 	Step float64
 	// MaxPlacements caps the number of replicas placed; <= 0 is unbounded.
 	MaxPlacements int
+	// OnPlace, when non-nil, observes every placement as it commits: the
+	// object, the winning server, and the winner's valuation.
+	OnPlace func(object int32, server int, value int64)
 }
 
 func (c Config) step() float64 {
@@ -79,10 +83,15 @@ type Result struct {
 }
 
 // Solve runs repeated per-object clock auctions until a full pass places
-// nothing.
-func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+// nothing. ctx is checked before every per-object auction and at every
+// clock tick; on cancellation Solve returns ctx.Err() wrapped with the
+// package name.
+func Solve(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("auction: nil problem")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("auction: %w", err)
 	}
 	if cfg.Step < 0 {
 		return nil, fmt.Errorf("auction: negative step %v", cfg.Step)
@@ -114,11 +123,17 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 		res.Passes++
 		placedThisPass := 0
 		for _, k := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("auction: %w", err)
+			}
 			if cfg.MaxPlacements > 0 && res.Placed >= cfg.MaxPlacements {
 				return res, nil
 			}
 			ceiling := (float64(p.Work.TotalReads[k])*float64(p.Work.ObjectSize[k])*diameter + 1) * (1 + step)
-			winner, ok := auctionObject(p, schema, k, cfg.Kind, step, ceiling, res)
+			winner, val, ok, err := auctionObject(ctx, p, schema, k, cfg.Kind, step, ceiling, res)
+			if err != nil {
+				return nil, err
+			}
 			if !ok {
 				continue
 			}
@@ -127,6 +142,9 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 			}
 			res.Placed++
 			placedThisPass++
+			if cfg.OnPlace != nil {
+				cfg.OnPlace(k, winner, val)
+			}
 		}
 		if placedThisPass == 0 {
 			break
@@ -136,9 +154,11 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 }
 
 // auctionObject runs one clock auction for object k and returns the winning
-// server, if any agent values a new replica of k.
-func auctionObject(p *replication.Problem, s *replication.Schema, k int32,
-	kind Kind, step, ceiling float64, res *Result) (int, bool) {
+// server and its valuation, if any agent values a new replica of k. ctx is
+// checked at every clock tick (the Dutch clock in particular can walk many
+// ticks before the price reaches the acceptance region).
+func auctionObject(ctx context.Context, p *replication.Problem, s *replication.Schema, k int32,
+	kind Kind, step, ceiling float64, res *Result) (int, int64, bool, error) {
 
 	// Collect the bidders: servers with positive valuation and capacity.
 	type bid struct {
@@ -157,7 +177,7 @@ func auctionObject(p *replication.Problem, s *replication.Schema, k int32,
 		}
 	}
 	if len(bids) == 0 {
-		return 0, false
+		return 0, 0, false, nil
 	}
 
 	switch kind {
@@ -167,6 +187,9 @@ func auctionObject(p *replication.Problem, s *replication.Schema, k int32,
 		price := 1.0
 		remaining := bids
 		for len(remaining) > 1 {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, false, fmt.Errorf("auction: %w", err)
+			}
 			res.Ticks++
 			next := remaining[:0]
 			for _, b := range remaining {
@@ -187,12 +210,15 @@ func auctionObject(p *replication.Problem, s *replication.Schema, k int32,
 				w = b
 			}
 		}
-		return w.server, true
+		return w.server, w.val, true, nil
 	default:
 		// Dutch: descend from the public ceiling until someone accepts; all
 		// acceptors inside the tick window tie by server id.
 		price := ceiling
 		for {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, false, fmt.Errorf("auction: %w", err)
+			}
 			res.Ticks++
 			var first *bid
 			for idx := range bids {
@@ -204,7 +230,7 @@ func auctionObject(p *replication.Problem, s *replication.Schema, k int32,
 				}
 			}
 			if first != nil {
-				return first.server, true
+				return first.server, first.val, true, nil
 			}
 			price /= 1 + step
 		}

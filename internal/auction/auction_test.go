@@ -1,6 +1,7 @@
 package auction
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -9,7 +10,7 @@ import (
 
 func TestDutchImproves(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(1))
-	res, err := Solve(p, Config{Kind: Dutch})
+	res, err := Solve(context.Background(), p, Config{Kind: Dutch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestDutchImproves(t *testing.T) {
 
 func TestEnglishImproves(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(2))
-	res, err := Solve(p, Config{Kind: English})
+	res, err := Solve(context.Background(), p, Config{Kind: English})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,18 +40,18 @@ func TestEnglishImproves(t *testing.T) {
 }
 
 func TestSolveNilAndBadStep(t *testing.T) {
-	if _, err := Solve(nil, Config{}); err == nil {
+	if _, err := Solve(context.Background(), nil, Config{}); err == nil {
 		t.Fatal("nil problem accepted")
 	}
 	p := testutil.MustBuild(testutil.Small(3))
-	if _, err := Solve(p, Config{Step: -0.1}); err == nil {
+	if _, err := Solve(context.Background(), p, Config{Step: -0.1}); err == nil {
 		t.Fatal("negative step accepted")
 	}
 }
 
 func TestMaxPlacements(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(4))
-	res, err := Solve(p, Config{Kind: Dutch, MaxPlacements: 2})
+	res, err := Solve(context.Background(), p, Config{Kind: Dutch, MaxPlacements: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestKindString(t *testing.T) {
 // would: its tick count must exceed the number of allocations.
 func TestEnglishClockOverhead(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(5))
-	res, err := Solve(p, Config{Kind: English})
+	res, err := Solve(context.Background(), p, Config{Kind: English})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestEnglishClockOverhead(t *testing.T) {
 // Coarser clocks lose more quality: a very coarse Dutch clock must not beat
 // a fine one by more than noise, and both must stay valid.
 func TestStepGranularityEffect(t *testing.T) {
-	fine, err := Solve(testutil.MustBuild(testutil.Small(6)), Config{Kind: Dutch, Step: 0.01})
+	fine, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(6)), Config{Kind: Dutch, Step: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
-	coarse, err := Solve(testutil.MustBuild(testutil.Small(6)), Config{Kind: Dutch, Step: 0.8})
+	coarse, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(6)), Config{Kind: Dutch, Step: 0.8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestAuctionsValidProperty(t *testing.T) {
 		if english {
 			kind = English
 		}
-		res, err := Solve(p, Config{Kind: kind})
+		res, err := Solve(context.Background(), p, Config{Kind: kind})
 		if err != nil {
 			return false
 		}

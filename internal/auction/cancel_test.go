@@ -1,0 +1,32 @@
+package auction
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestSolveCancelled(t *testing.T) {
+	for _, kind := range []Kind{Dutch, English} {
+		testutil.LeakCheck(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := Solve(ctx, testutil.MustBuild(testutil.Small(45)), Config{Kind: kind}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("kind %v: err = %v, want context.Canceled", kind, err)
+		}
+	}
+}
+
+func TestSolveCancelMidClock(t *testing.T) {
+	for _, kind := range []Kind{Dutch, English} {
+		testutil.LeakCheck(t)
+		// Survive the entry check and a few price-clock ticks, then die.
+		ctx := testutil.CancelAfterPolls(10)
+		_, err := Solve(ctx, testutil.MustBuild(testutil.Small(46)), Config{Kind: kind})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("kind %v: err = %v, want context.Canceled", kind, err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package auction
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/replication"
+	"repro/internal/solver"
+)
+
+// clockSolver adapts one auction kind to the solver registry; the package
+// registers both the Dutch ("da") and English ("ea") clocks.
+type clockSolver struct {
+	name, label, desc string
+	kind              Kind
+}
+
+func init() {
+	solver.Register(clockSolver{
+		name: "da", label: "DA", kind: Dutch,
+		desc: "Dutch descending-clock per-object auction of [15]",
+	})
+	solver.Register(clockSolver{
+		name: "ea", label: "EA", kind: English,
+		desc: "English ascending-clock per-object auction of [15]",
+	})
+}
+
+func (s clockSolver) Name() string        { return s.name }
+func (s clockSolver) Label() string       { return s.label }
+func (s clockSolver) Description() string { return s.desc }
+
+func (s clockSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.Options) (*solver.Outcome, error) {
+	if opts.Engine != "" {
+		return nil, fmt.Errorf("auction: unknown engine %q (%s has a single engine)", opts.Engine, s.name)
+	}
+	cfg := Config{Kind: s.kind}
+	out := &solver.Outcome{}
+	if opts.OnEvent != nil || opts.RecordEvents {
+		placed := 0
+		cfg.OnPlace = func(object int32, server int, value int64) {
+			placed++
+			out.Emit(opts, solver.Event{
+				Round: placed, Object: object, Server: int32(server), Value: value,
+			})
+		}
+	}
+	res, err := Solve(ctx, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Schema = res.Schema
+	out.Replicas = res.Placed
+	out.Work = res.Polls
+	out.Rounds = res.Passes
+	return out, nil
+}

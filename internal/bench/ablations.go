@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,7 +14,7 @@ import (
 // batch of synthetic bid scenarios, it measures the best utility gain an
 // agent can extract by misreporting under the second-price rule (always 0)
 // versus the first-price rule (strictly positive whenever shading pays).
-func AblationPayment(cfg Config) (*Table, error) {
+func AblationPayment(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	r := stats.NewRNG(cfg.Seed)
 	t := &Table{
@@ -49,7 +50,7 @@ func AblationPayment(cfg Config) (*Table, error) {
 // AblationValuation compares the paper's local CoR valuation against the
 // exact global OTC delta an omniscient agent could compute: solution
 // quality (savings) and the per-run wall time of each.
-func AblationValuation(cfg Config) (*Table, error) {
+func AblationValuation(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale/2, 20)
 	n := scaled(paperN, cfg.Scale/2, 100)
@@ -68,7 +69,7 @@ func AblationValuation(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		local, err := instL.Solve(repro.AGTRAM, &repro.Options{Workers: cfg.Workers})
+		local, err := instL.SolveContext(ctx, repro.AGTRAM, &repro.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +77,7 @@ func AblationValuation(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		exact, err := instE.Solve(repro.AGTRAM, &repro.Options{Workers: cfg.Workers, ExactValuation: true})
+		exact, err := instE.SolveContext(ctx, repro.AGTRAM, &repro.Options{Workers: cfg.Workers, Sync: true, ExactValuation: true})
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +99,7 @@ func AblationValuation(cfg Config) (*Table, error) {
 // the centralized raw-benefit scan (greedy without density) as the
 // non-mechanism control. The valuations column isolates the incremental
 // engine's algorithmic win from wall-clock noise.
-func AblationEngine(cfg Config) (*Table, error) {
+func AblationEngine(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale/2, 20)
 	n := scaled(paperN, cfg.Scale/2, 100)
@@ -127,7 +128,7 @@ func AblationEngine(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := inst.Solve(repro.AGTRAM, &e.opts)
+		res, err := inst.SolveContext(ctx, repro.AGTRAM, &e.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +142,7 @@ func AblationEngine(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := inst.Solve(repro.Greedy, &repro.Options{Workers: cfg.Workers})
+	res, err := inst.SolveContext(ctx, repro.Greedy, &repro.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -152,38 +153,24 @@ func methodColumns(methods []repro.Method) []string {
 	return out
 }
 
-// MethodLabel maps a method to the paper's label.
-func MethodLabel(m repro.Method) string {
-	switch m {
-	case repro.AGTRAM:
-		return "AGT-RAM"
-	case repro.Greedy:
-		return "Greedy"
-	case repro.GRA:
-		return "GRA"
-	case repro.AeStar:
-		return "Ae-Star"
-	case repro.DutchAuction:
-		return "DA"
-	case repro.EnglishAuction:
-		return "EA"
-	default:
-		return string(m)
-	}
-}
+// MethodLabel maps a method to the paper's label, straight from the solver
+// registry (unknown methods pass through unchanged).
+func MethodLabel(m repro.Method) string { return repro.MethodLabel(m) }
 
 // runAll solves one instance config with every configured method, building
-// a fresh instance per method so no state leaks between runs.
-func runAll(cfg Config, icfg repro.InstanceConfig) (map[repro.Method]*repro.Result, error) {
+// a fresh instance per method so no state leaks between runs. The Sync
+// engine override only applies to AGT-RAM — engine selection is meaningless
+// for the single-engine baselines and the facade now rejects it.
+func runAll(ctx context.Context, cfg Config, icfg repro.InstanceConfig) (map[repro.Method]*repro.Result, error) {
 	out := make(map[repro.Method]*repro.Result, len(cfg.Methods))
 	for _, m := range cfg.Methods {
 		inst, err := repro.NewInstance(icfg)
 		if err != nil {
 			return nil, fmt.Errorf("bench: building instance for %s: %w", m, err)
 		}
-		res, err := inst.Solve(m, &repro.Options{
+		res, err := inst.SolveContext(ctx, m, &repro.Options{
 			Workers:        cfg.Workers,
-			Sync:           cfg.Sync,
+			Sync:           cfg.Sync && m == repro.AGTRAM,
 			Seed:           stats.Mix64(cfg.Seed, int64(len(m))),
 			GRAGenerations: cfg.GRAGenerations,
 		})

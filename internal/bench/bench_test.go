@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func tiny() Config {
 }
 
 func TestFigure3ShapeAndContent(t *testing.T) {
-	tab, err := Figure3(tiny())
+	tab, err := Figure3(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestFigure3ShapeAndContent(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	tab, err := Figure4(tiny())
+	tab, err := Figure4(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestFigure4Shape(t *testing.T) {
 func TestTable1Columns(t *testing.T) {
 	cfg := tiny()
 	cfg.Methods = []repro.Method{repro.AGTRAM, repro.Greedy, repro.GRA}
-	tab, err := Table1(cfg)
+	tab, err := Table1(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestTable1Columns(t *testing.T) {
 func TestTable2RowsAndGain(t *testing.T) {
 	cfg := tiny()
 	cfg.Methods = []repro.Method{repro.AGTRAM, repro.GRA}
-	tab, err := Table2(cfg)
+	tab, err := Table2(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestTable2RowsAndGain(t *testing.T) {
 }
 
 func TestAblationPayment(t *testing.T) {
-	tab, err := AblationPayment(tiny())
+	tab, err := AblationPayment(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestAblationPayment(t *testing.T) {
 }
 
 func TestAblationValuation(t *testing.T) {
-	tab, err := AblationValuation(tiny())
+	tab, err := AblationValuation(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestAblationValuation(t *testing.T) {
 }
 
 func TestAblationEngine(t *testing.T) {
-	tab, err := AblationEngine(tiny())
+	tab, err := AblationEngine(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestProgressCallback(t *testing.T) {
 	cfg.Methods = []repro.Method{repro.AGTRAM}
 	var lines []string
 	cfg.Progress = func(s string) { lines = append(lines, s) }
-	if _, err := Figure4(cfg); err != nil {
+	if _, err := Figure4(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if len(lines) == 0 {
@@ -260,11 +261,11 @@ func TestRenderChart(t *testing.T) {
 func TestPipelineDeterminism(t *testing.T) {
 	cfg := tiny()
 	cfg.Methods = []repro.Method{repro.AGTRAM, repro.GRA}
-	a, err := Figure3(cfg)
+	a, err := Figure3(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Figure3(cfg)
+	b, err := Figure3(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

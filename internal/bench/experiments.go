@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,7 +17,7 @@ const (
 
 // Figure3 reproduces "OTC savings versus server capacity": M=3718,
 // N=25,000, R/W=0.95, capacity swept from 10% to 40%.
-func Figure3(cfg Config) (*Table, error) {
+func Figure3(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale, 24)
 	n := scaled(paperN, cfg.Scale, 120)
@@ -28,7 +29,7 @@ func Figure3(cfg Config) (*Table, error) {
 	}
 	for _, capacity := range []float64{10, 15, 20, 25, 30, 35, 40} {
 		cfg.progress("Figure 3: capacity %.0f%%", capacity)
-		results, err := runAll(cfg, repro.InstanceConfig{
+		results, err := runAll(ctx, cfg, repro.InstanceConfig{
 			Servers:         m,
 			Objects:         n,
 			Requests:        requestsFor(n),
@@ -50,7 +51,7 @@ func Figure3(cfg Config) (*Table, error) {
 
 // Figure4 reproduces "OTC savings versus read/write ratio": M=3718,
 // N=25,000, C=45%, R/W swept from 0.10 to 0.95.
-func Figure4(cfg Config) (*Table, error) {
+func Figure4(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale, 24)
 	n := scaled(paperN, cfg.Scale, 120)
@@ -62,7 +63,7 @@ func Figure4(cfg Config) (*Table, error) {
 	}
 	for _, rw := range []float64{0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95} {
 		cfg.progress("Figure 4: R/W %.2f", rw)
-		results, err := runAll(cfg, repro.InstanceConfig{
+		results, err := runAll(ctx, cfg, repro.InstanceConfig{
 			Servers:         m,
 			Objects:         n,
 			Requests:        requestsFor(n),
@@ -86,7 +87,7 @@ func Figure4(cfg Config) (*Table, error) {
 // C=45%, R/W=0.85, problem sizes (M, N) from 2500x15k to 3718x25k. The
 // extra column reports the paper's headline: the percentage by which
 // AGT-RAM's running time beats the fastest baseline.
-func Table1(cfg Config) (*Table, error) {
+func Table1(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	sizes := []struct{ m, n int }{
 		{2500, 15000}, {2500, 20000}, {2500, 25000},
@@ -116,7 +117,7 @@ func Table1(cfg Config) (*Table, error) {
 		// scheduler noise.
 		best := make(map[repro.Method]time.Duration, len(cfg.Methods))
 		for r := 0; r < repeats; r++ {
-			results, err := runAll(cfg, icfg)
+			results, err := runAll(ctx, cfg, icfg)
 			if err != nil {
 				return nil, err
 			}
@@ -153,7 +154,7 @@ func Table1(cfg Config) (*Table, error) {
 // instances": the paper's ten (M, N, C, R/W) combinations. The extra
 // column reports the percentage by which AGT-RAM's savings beat the best
 // baseline's, matching the paper's improvement column.
-func Table2(cfg Config) (*Table, error) {
+func Table2(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	rows := []struct {
 		m, n int
@@ -181,7 +182,7 @@ func Table2(cfg Config) (*Table, error) {
 		m := scaled(spec.m, cfg.Scale, 16)
 		n := scaled(spec.n, cfg.Scale, 80)
 		cfg.progress("Table 2: instance %d (M=%d N=%d C=%.0f%% R/W=%.2f)", i+1, m, n, spec.c, spec.rw)
-		results, err := runAll(cfg, repro.InstanceConfig{
+		results, err := runAll(ctx, cfg, repro.InstanceConfig{
 			Servers:         m,
 			Objects:         n,
 			Requests:        requestsFor(n),

@@ -1,18 +1,15 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 	"repro/internal/adaptive"
-	"repro/internal/agtram"
-	"repro/internal/astar"
-	"repro/internal/auction"
 	"repro/internal/exhaustive"
-	"repro/internal/genetic"
-	"repro/internal/greedy"
 	"repro/internal/hierarchy"
 	"repro/internal/replication"
+	"repro/internal/solver"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -22,7 +19,7 @@ import (
 // plot ("further experiments with various update ratios (5%, 10%, and 20%)
 // showed similar plot trends"): the Figure 3 capacity sweep for AGT-RAM
 // under three update ratios U% (i.e. R/W = 1 - U/100).
-func UpdateRatio(cfg Config) (*Table, error) {
+func UpdateRatio(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale, 24)
 	n := scaled(paperN, cfg.Scale, 120)
@@ -49,7 +46,7 @@ func UpdateRatio(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := inst.Solve(repro.AGTRAM, &repro.Options{Workers: cfg.Workers})
+			res, err := inst.SolveContext(ctx, repro.AGTRAM, &repro.Options{Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -66,7 +63,7 @@ func UpdateRatio(cfg Config) (*Table, error) {
 // central body fails mid-protocol. The headline: hierarchical coordination
 // matches the flat mechanism's quality with R (not M) reports reaching the
 // top, and the system survives the top's failure with graceful degradation.
-func Regions(cfg Config) (*Table, error) {
+func Regions(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale/2, 20)
 	n := scaled(paperN, cfg.Scale/2, 100)
@@ -77,7 +74,7 @@ func Regions(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	flatRes, err := flat.Solve(repro.AGTRAM, &repro.Options{Workers: cfg.Workers})
+	flatRes, err := flat.SolveContext(ctx, repro.AGTRAM, &repro.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -89,15 +86,15 @@ func Regions(cfg Config) (*Table, error) {
 		Columns:  []string{"hier savings", "auto savings", "fail savings", "top decisions", "auto epochs"},
 	}
 	for _, regions := range []int{1, 2, 4, 8, 16} {
-		hier, err := hierarchy.Solve(cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions})
+		hier, err := hierarchy.Solve(ctx, cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions})
 		if err != nil {
 			return nil, err
 		}
-		auto, err := hierarchy.Solve(cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions, Mode: hierarchy.Autonomous})
+		auto, err := hierarchy.Solve(ctx, cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions, Mode: hierarchy.Autonomous})
 		if err != nil {
 			return nil, err
 		}
-		fail, err := hierarchy.Solve(cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions, TopFailsAfter: hier.Epochs / 2})
+		fail, err := hierarchy.Solve(ctx, cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions, TopFailsAfter: hier.Epochs / 2})
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +113,7 @@ func Regions(cfg Config) (*Table, error) {
 
 // Adaptive measures the migration protocol over drifting demand: per-epoch
 // savings with migration versus a frozen first placement.
-func Adaptive(cfg Config) (*Table, error) {
+func Adaptive(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale/2, 20)
 	n := scaled(paperN, cfg.Scale/2, 100)
@@ -138,11 +135,11 @@ func Adaptive(cfg Config) (*Table, error) {
 	}
 	cost := topology.AllPairs(g, 0)
 
-	migrating, err := adaptive.Run(cost, ws, caps, adaptive.Config{})
+	migrating, err := adaptive.Run(ctx, cost, ws, caps, adaptive.Config{})
 	if err != nil {
 		return nil, err
 	}
-	frozen, err := adaptive.Run(cost, ws, caps, adaptive.Config{FreezePlacement: true})
+	frozen, err := adaptive.Run(ctx, cost, ws, caps, adaptive.Config{FreezePlacement: true})
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +200,7 @@ func cloneProblem(cfg Config, m, n int) *replication.Problem {
 // view the paper's NP-completeness discussion implies but cannot measure
 // at its scale. Values are mean percentage cost above optimal over the
 // sampled instances (0 = always optimal).
-func OptimalityGap(cfg Config, instances int) (*Table, error) {
+func OptimalityGap(ctx context.Context, cfg Config, instances int) (*Table, error) {
 	cfg = cfg.withDefaults()
 	if instances <= 0 {
 		instances = 12
@@ -216,7 +213,7 @@ func OptimalityGap(cfg Config, instances int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt, err := exhaustive.Solve(prob, 0)
+		opt, err := exhaustive.Solve(ctx, prob, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +223,7 @@ func OptimalityGap(cfg Config, instances int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cost, err := solveDirect(meth, prob2, seed, cfg.GRAGenerations)
+			cost, err := solveDirect(ctx, meth, prob2, seed, cfg.GRAGenerations)
 			if err != nil {
 				return nil, err
 			}
@@ -279,44 +276,17 @@ func tinyProblem(seed int64) (*replication.Problem, error) {
 }
 
 // solveDirect runs a method against a prebuilt problem (the facade only
-// builds its own instances) and returns the final OTC.
-func solveDirect(meth repro.Method, prob *replication.Problem, seed int64, gens int) (int64, error) {
-	switch meth {
-	case repro.AGTRAM:
-		res, err := agtram.Solve(prob, agtram.Config{})
-		if err != nil {
-			return 0, err
-		}
-		return res.Schema.TotalCost(), nil
-	case repro.Greedy:
-		res, err := greedy.Solve(prob, greedy.DefaultConfig())
-		if err != nil {
-			return 0, err
-		}
-		return res.Schema.TotalCost(), nil
-	case repro.GRA:
-		res, err := genetic.Solve(prob, genetic.Config{Seed: seed, Generations: gens})
-		if err != nil {
-			return 0, err
-		}
-		return res.Schema.TotalCost(), nil
-	case repro.AeStar:
-		res, err := astar.Solve(prob, astar.Config{})
-		if err != nil {
-			return 0, err
-		}
-		return res.Schema.TotalCost(), nil
-	case repro.DutchAuction, repro.EnglishAuction:
-		kind := auction.Dutch
-		if meth == repro.EnglishAuction {
-			kind = auction.English
-		}
-		res, err := auction.Solve(prob, auction.Config{Kind: kind})
-		if err != nil {
-			return 0, err
-		}
-		return res.Schema.TotalCost(), nil
-	default:
+// builds its own instances) and returns the final OTC. Every method goes
+// through the same solver registry the facade uses, so there is no second
+// method switch to drift out of sync.
+func solveDirect(ctx context.Context, meth repro.Method, prob *replication.Problem, seed int64, gens int) (int64, error) {
+	s, ok := solver.Lookup(string(meth))
+	if !ok {
 		return 0, fmt.Errorf("bench: unknown method %q", meth)
 	}
+	out, err := s.Solve(ctx, prob, solver.Options{Seed: seed, GRAGenerations: gens})
+	if err != nil {
+		return 0, err
+	}
+	return out.Schema.TotalCost(), nil
 }

@@ -1,9 +1,12 @@
 package bench
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestUpdateRatioSweep(t *testing.T) {
-	tab, err := UpdateRatio(tiny())
+	tab, err := UpdateRatio(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +31,7 @@ func TestUpdateRatioSweep(t *testing.T) {
 }
 
 func TestRegionsExperiment(t *testing.T) {
-	tab, err := Regions(tiny())
+	tab, err := Regions(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +61,7 @@ func TestRegionsExperiment(t *testing.T) {
 }
 
 func TestAdaptiveExperiment(t *testing.T) {
-	tab, err := Adaptive(tiny())
+	tab, err := Adaptive(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +88,7 @@ func TestAdaptiveExperiment(t *testing.T) {
 
 func TestMultiSeed(t *testing.T) {
 	cfg := tiny()
-	tab, err := MultiSeed(cfg, 4)
+	tab, err := MultiSeed(context.Background(), cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +130,7 @@ func TestMultiSeed(t *testing.T) {
 
 func TestOptimalityGap(t *testing.T) {
 	cfg := tiny()
-	tab, err := OptimalityGap(cfg, 3)
+	tab, err := OptimalityGap(context.Background(), cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -13,7 +14,7 @@ import (
 // tables cannot give. Rows: one per method; columns: mean, std, min, max,
 // and wins (count of seeds where the method achieved the best savings,
 // ties counted for every winner).
-func MultiSeed(cfg Config, runs int) (*Table, error) {
+func MultiSeed(ctx context.Context, cfg Config, runs int) (*Table, error) {
 	cfg = cfg.withDefaults()
 	if runs <= 0 {
 		runs = 10
@@ -33,7 +34,7 @@ func MultiSeed(cfg Config, runs int) (*Table, error) {
 			CapacityPercent: 15,
 			Seed:            seed,
 		}
-		results, err := runAll(cfg, icfg)
+		results, err := runAll(ctx, cfg, icfg)
 		if err != nil {
 			return nil, err
 		}

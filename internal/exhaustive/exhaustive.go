@@ -14,6 +14,7 @@
 package exhaustive
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/replication"
@@ -40,10 +41,14 @@ type pair struct {
 
 // Solve finds the optimal placement. maxPairs <= 0 selects DefaultMaxPairs;
 // instances with more decision pairs are rejected rather than silently
-// truncated.
-func Solve(p *replication.Problem, maxPairs int) (*Result, error) {
+// truncated. ctx is checked at entry and every 1024 visited nodes; on
+// cancellation Solve returns ctx.Err() wrapped with the package name.
+func Solve(ctx context.Context, p *replication.Problem, maxPairs int) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("exhaustive: nil problem")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exhaustive: %w", err)
 	}
 	if maxPairs <= 0 {
 		maxPairs = DefaultMaxPairs
@@ -69,9 +74,17 @@ func Solve(p *replication.Problem, maxPairs int) (*Result, error) {
 	bestCost := best.TotalCost()
 	res := &Result{Pairs: len(pairs)}
 
+	canceled := false
 	var dfs func(idx int)
 	dfs = func(idx int) {
+		if canceled {
+			return
+		}
 		res.Nodes++
+		if res.Nodes&1023 == 0 && ctx.Err() != nil {
+			canceled = true
+			return
+		}
 		if cost := s.TotalCost(); cost < bestCost {
 			bestCost = cost
 			best = s.Clone()
@@ -108,6 +121,9 @@ func Solve(p *replication.Problem, maxPairs int) (*Result, error) {
 		dfs(idx + 1)
 	}
 	dfs(0)
+	if canceled {
+		return nil, fmt.Errorf("exhaustive: %w", ctx.Err())
+	}
 	res.Schema = best
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package exhaustive
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -43,7 +44,7 @@ func tinyInstance(t testing.TB, seed int64) *replication.Problem {
 
 func TestSolveBasics(t *testing.T) {
 	p := tinyInstance(t, 1)
-	res, err := Solve(p, 0)
+	res, err := Solve(context.Background(), p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestSolveBasics(t *testing.T) {
 }
 
 func TestSolveErrors(t *testing.T) {
-	if _, err := Solve(nil, 0); err == nil {
+	if _, err := Solve(context.Background(), nil, 0); err == nil {
 		t.Fatal("nil problem accepted")
 	}
 	p := tinyInstance(t, 2)
-	if _, err := Solve(p, 5); err == nil {
+	if _, err := Solve(context.Background(), p, 5); err == nil {
 		t.Fatal("oversized instance accepted")
 	}
 }
@@ -72,7 +73,7 @@ func TestSolveErrors(t *testing.T) {
 func TestMatchesBruteForce(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		p := tinyInstance(t, seed)
-		res, err := Solve(p, 0)
+		res, err := Solve(context.Background(), p, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestHeuristicsNeverBeatOptimum(t *testing.T) {
 	const seeds = 10
 	for seed := int64(0); seed < seeds; seed++ {
 		p := tinyInstance(t, seed)
-		opt, err := Solve(p, 0)
+		opt, err := Solve(context.Background(), p, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,22 +144,22 @@ func TestHeuristicsNeverBeatOptimum(t *testing.T) {
 				t.Fatalf("seed %d: %s (%d) beat the proven optimum (%d)", seed, name, cost, optCost)
 			}
 		}
-		a, err := agtram.Solve(tinyInstance(t, seed), agtram.Config{})
+		a, err := agtram.Solve(context.Background(), tinyInstance(t, seed), agtram.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		check("agt-ram", a.Schema.TotalCost())
-		g, err := greedy.Solve(tinyInstance(t, seed), greedy.DefaultConfig())
+		g, err := greedy.Solve(context.Background(), tinyInstance(t, seed), greedy.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
 		check("greedy", g.Schema.TotalCost())
-		as, err := astar.Solve(tinyInstance(t, seed), astar.Config{})
+		as, err := astar.Solve(context.Background(), tinyInstance(t, seed), astar.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		check("ae-star", as.Schema.TotalCost())
-		da, err := auction.Solve(tinyInstance(t, seed), auction.Config{})
+		da, err := auction.Solve(context.Background(), tinyInstance(t, seed), auction.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestHeuristicsNeverBeatOptimum(t *testing.T) {
 func TestOptimumValidProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		p := tinyInstance(quietTB{}, seed)
-		res, err := Solve(p, 0)
+		res, err := Solve(context.Background(), p, 0)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,28 @@
+package genetic
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestSolveCancelled(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, testutil.MustBuild(testutil.Small(41)), Config{Seed: 41}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveCancelMidRun(t *testing.T) {
+	testutil.LeakCheck(t)
+	// Survive the entry check and one generation boundary, then die.
+	ctx := testutil.CancelAfterPolls(2)
+	_, err := Solve(ctx, testutil.MustBuild(testutil.Small(42)), Config{Seed: 42, Generations: 50})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

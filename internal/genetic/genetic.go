@@ -17,6 +17,7 @@
 package genetic
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,6 +35,9 @@ type Config struct {
 	Tournament  int     // tournament size, default 3
 	Workers     int     // parallel fitness workers; <= 0 selects GOMAXPROCS
 	Seed        int64
+	// OnGeneration, when non-nil, observes each generation's best OTC as
+	// the search progresses (1-based generation index).
+	OnGeneration func(gen int, bestCost int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -70,8 +74,9 @@ type individual struct {
 	cost int64
 }
 
-// Solve runs the GA.
-func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+// Solve runs the GA. ctx is checked before every generation; on
+// cancellation Solve returns ctx.Err() wrapped with the package name.
+func Solve(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("genetic: nil problem")
 	}
@@ -141,10 +146,16 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 		res.Evaluations += int64(len(inds))
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("genetic: %w", err)
+	}
 	evaluate(pop)
 	best := fittest(pop)
 
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("genetic: %w", err)
+		}
 		next := make([]*individual, 0, cfg.Population)
 		next = append(next, best) // elitism
 		for len(next) < cfg.Population {
@@ -158,6 +169,9 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 		pop = next
 		best = fittest(pop)
 		res.History = append(res.History, best.cost)
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(gen+1, best.cost)
+		}
 	}
 	res.Schema = decode(best)
 	return res, nil

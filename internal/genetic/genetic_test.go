@@ -1,6 +1,7 @@
 package genetic
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -10,7 +11,7 @@ import (
 
 func TestSolveRuns(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(1))
-	res, err := Solve(p, Config{Generations: 10, Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Generations: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,21 +30,21 @@ func TestSolveRuns(t *testing.T) {
 }
 
 func TestSolveErrors(t *testing.T) {
-	if _, err := Solve(nil, Config{}); err == nil {
+	if _, err := Solve(context.Background(), nil, Config{}); err == nil {
 		t.Fatal("nil problem accepted")
 	}
 	p := testutil.MustBuild(testutil.Small(2))
-	if _, err := Solve(p, Config{Population: 3}); err == nil {
+	if _, err := Solve(context.Background(), p, Config{Population: 3}); err == nil {
 		t.Fatal("odd tiny population accepted")
 	}
-	if _, err := Solve(p, Config{Mutation: 1.5}); err == nil {
+	if _, err := Solve(context.Background(), p, Config{Mutation: 1.5}); err == nil {
 		t.Fatal("mutation > 1 accepted")
 	}
 }
 
 func TestElitismMonotone(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(3))
-	res, err := Solve(p, Config{Generations: 15, Seed: 3})
+	res, err := Solve(context.Background(), p, Config{Generations: 15, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +58,11 @@ func TestElitismMonotone(t *testing.T) {
 
 func TestDeterministicForSeed(t *testing.T) {
 	cfg := Config{Generations: 8, Seed: 4, Workers: 4}
-	a, err := Solve(testutil.MustBuild(testutil.Small(4)), cfg)
+	a, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(4)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(testutil.MustBuild(testutil.Small(4)), cfg)
+	b, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(4)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestDeterministicForSeed(t *testing.T) {
 }
 
 func TestMoreGenerationsHelp(t *testing.T) {
-	short, err := Solve(testutil.MustBuild(testutil.Small(5)), Config{Generations: 2, Seed: 5})
+	short, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(5)), Config{Generations: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	long, err := Solve(testutil.MustBuild(testutil.Small(5)), Config{Generations: 40, Seed: 5})
+	long, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(5)), Config{Generations: 40, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestMoreGenerationsHelp(t *testing.T) {
 // constructive mechanism in solution quality.
 func TestGRATrailsAGTRAM(t *testing.T) {
 	cfg := testutil.Medium(6)
-	gres, err := Solve(testutil.MustBuild(cfg), Config{Generations: 20, Seed: 6})
+	gres, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{Generations: 20, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ares, err := agtram.Solve(testutil.MustBuild(cfg), agtram.Config{})
+	ares, err := agtram.Solve(context.Background(), testutil.MustBuild(cfg), agtram.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestDecodedAlwaysFeasibleProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Solve(p, Config{Generations: 4, Population: 8, Seed: seed})
+		res, err := Solve(context.Background(), p, Config{Generations: 4, Population: 8, Seed: seed})
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,49 @@
+package genetic
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/replication"
+	"repro/internal/solver"
+)
+
+// gaSolver adapts GRA to the solver registry.
+type gaSolver struct{}
+
+func init() { solver.Register(gaSolver{}) }
+
+func (gaSolver) Name() string  { return "gra" }
+func (gaSolver) Label() string { return "GRA" }
+func (gaSolver) Description() string {
+	return "genetic replication algorithm of [21]: GA over placements, exact-OTC fitness"
+}
+
+func (gaSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.Options) (*solver.Outcome, error) {
+	if opts.Engine != "" {
+		return nil, fmt.Errorf("genetic: unknown engine %q (gra has a single engine)", opts.Engine)
+	}
+	cfg := Config{
+		Workers:     opts.Workers,
+		Seed:        opts.Seed,
+		Generations: opts.GRAGenerations,
+	}
+	out := &solver.Outcome{}
+	if opts.OnEvent != nil || opts.RecordEvents {
+		// GRA evolves whole placements rather than committing replicas one
+		// by one, so its event stream is per generation: Round is the
+		// generation, Value the generation's best OTC, Object/Server -1.
+		cfg.OnGeneration = func(gen int, bestCost int64) {
+			out.Emit(opts, solver.Event{Round: gen, Object: -1, Server: -1, Value: bestCost})
+		}
+	}
+	res, err := Solve(ctx, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Schema = res.Schema
+	out.Replicas = res.Schema.Placed()
+	out.Work = res.Evaluations
+	out.Rounds = len(res.History)
+	return out, nil
+}

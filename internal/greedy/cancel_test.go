@@ -1,0 +1,22 @@
+package greedy
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestSolveCancelled(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		testutil.LeakCheck(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		cfg := DefaultConfig()
+		cfg.Lazy = lazy
+		if _, err := Solve(ctx, testutil.MustBuild(testutil.Small(47)), cfg); !errors.Is(err, context.Canceled) {
+			t.Fatalf("lazy=%v: err = %v, want context.Canceled", lazy, err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package greedy
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 
@@ -34,6 +35,9 @@ type Config struct {
 	// Workers bounds the rescan fan-out of the eager engine; <= 0 selects
 	// GOMAXPROCS. Ignored by the lazy engine (inherently sequential).
 	Workers int
+	// OnPlace, when non-nil, observes every placement as it commits:
+	// the object, the receiving server, and the benefit that won.
+	OnPlace func(object int32, server int, benefit int64)
 }
 
 // DefaultConfig is the paper's greedy: eager rescans, benefit per unit of
@@ -48,8 +52,10 @@ type Result struct {
 	Evaluations int64
 }
 
-// Solve runs the greedy baseline.
-func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+// Solve runs the greedy baseline. ctx is checked once per pass (eager) or
+// per heap settle (lazy); on cancellation Solve returns ctx.Err() wrapped
+// with the package name.
+func Solve(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("greedy: nil problem")
 	}
@@ -57,11 +63,11 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 	res := &Result{Schema: schema}
 	pairs := candidates.Build(p, true)
 	if cfg.Lazy {
-		if err := solveLazy(schema, pairs, cfg, res); err != nil {
+		if err := solveLazy(ctx, schema, pairs, cfg, res); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := solveEager(schema, pairs, cfg, res); err != nil {
+		if err := solveEager(ctx, schema, pairs, cfg, res); err != nil {
 			return nil, err
 		}
 	}
@@ -83,7 +89,7 @@ func keyOf(cfg Config, benefit, size int64) float64 {
 // survivors in place and reports its local best, then a serial reduction
 // picks the global winner (first occurrence on key ties, matching the
 // sequential scan order).
-func solveEager(schema *replication.Schema, pairs []candidates.Pair, cfg Config, res *Result) error {
+func solveEager(ctx context.Context, schema *replication.Schema, pairs []candidates.Pair, cfg Config, res *Result) error {
 	nWorkers := cfg.Workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
@@ -115,6 +121,9 @@ func solveEager(schema *replication.Schema, pairs []candidates.Pair, cfg Config,
 	results := make([]chunkBest, nWorkers)
 	lastObj, lastServer := int32(-1), -1
 	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("greedy: %w", err)
+		}
 		nChunks := 0
 		chunk := (len(live) + nWorkers - 1) / nWorkers
 		if chunk > 0 {
@@ -177,6 +186,11 @@ func solveEager(schema *replication.Schema, pairs []candidates.Pair, cfg Config,
 			return fmt.Errorf("greedy: placing (%d on %d): %w", c.object, c.server, err)
 		}
 		res.Placed++
+		if cfg.OnPlace != nil {
+			// live[bestIdx] carries this pass's refreshed pricing state, so
+			// the O(1) benefit formula reproduces the evaluated value.
+			cfg.OnPlace(c.object, c.server, c.reads*c.size*int64(c.nnCost)-c.updCost)
+		}
 		lastObj, lastServer = c.object, c.server
 		live = append(live[:bestIdx], live[bestIdx+1:]...)
 	}
@@ -195,7 +209,7 @@ type cand struct {
 // solveLazy runs the same rule through a lazy max-heap: pop the top,
 // re-evaluate, place only if it still dominates the runner-up. Exact,
 // because keys only decrease over time.
-func solveLazy(schema *replication.Schema, pairs []candidates.Pair, cfg Config, res *Result) error {
+func solveLazy(ctx context.Context, schema *replication.Schema, pairs []candidates.Pair, cfg Config, res *Result) error {
 	h := make(maxHeap, 0, len(pairs))
 	for _, pr := range pairs {
 		b := schema.LocalBenefit(pr.Server, pr.Object)
@@ -206,6 +220,9 @@ func solveLazy(schema *replication.Schema, pairs []candidates.Pair, cfg Config, 
 	}
 	heap.Init(&h)
 	for h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("greedy: %w", err)
+		}
 		top := h[0]
 		pr := top.pair
 		if schema.HasReplica(pr.Object, pr.Server) || schema.Residual(pr.Server) < pr.Size {
@@ -228,6 +245,9 @@ func solveLazy(schema *replication.Schema, pairs []candidates.Pair, cfg Config, 
 			return fmt.Errorf("greedy: placing (%d on %d): %w", pr.Object, pr.Server, err)
 		}
 		res.Placed++
+		if cfg.OnPlace != nil {
+			cfg.OnPlace(pr.Object, pr.Server, b)
+		}
 		heap.Pop(&h)
 	}
 	return nil

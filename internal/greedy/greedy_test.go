@@ -1,6 +1,7 @@
 package greedy
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -9,7 +10,7 @@ import (
 
 func TestSolveImproves(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(1))
-	res, err := Solve(p, DefaultConfig())
+	res, err := Solve(context.Background(), p, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestSolveImproves(t *testing.T) {
 }
 
 func TestSolveNil(t *testing.T) {
-	if _, err := Solve(nil, DefaultConfig()); err == nil {
+	if _, err := Solve(context.Background(), nil, DefaultConfig()); err == nil {
 		t.Fatal("nil problem accepted")
 	}
 }
@@ -36,11 +37,11 @@ func TestSolveNil(t *testing.T) {
 func TestDensityVsRawBenefit(t *testing.T) {
 	pd := testutil.MustBuild(testutil.Small(2))
 	pr := testutil.MustBuild(testutil.Small(2))
-	dens, err := Solve(pd, Config{ByDensity: true})
+	dens, err := Solve(context.Background(), pd, Config{ByDensity: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := Solve(pr, Config{ByDensity: false})
+	raw, err := Solve(context.Background(), pr, Config{ByDensity: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestSolveMonotoneProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Solve(p, DefaultConfig())
+		res, err := Solve(context.Background(), p, DefaultConfig())
 		if err != nil {
 			return false
 		}
@@ -86,11 +87,11 @@ func TestLazyHeapMatchesEager(t *testing.T) {
 				Servers: 8, Objects: 30, Requests: 3000, RWRatio: 0.85,
 				CapacityPercent: 15, EdgeP: 0.4, Seed: seed,
 			}
-			lazy, err := Solve(testutil.MustBuild(cfg), Config{ByDensity: byDensity, Lazy: true})
+			lazy, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{ByDensity: byDensity, Lazy: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			eager, err := Solve(testutil.MustBuild(cfg), Config{ByDensity: byDensity})
+			eager, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{ByDensity: byDensity})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -109,11 +110,11 @@ func TestLazyHeapMatchesEager(t *testing.T) {
 // The lazy engine exists because it does strictly less work.
 func TestLazyDoesFewerEvaluations(t *testing.T) {
 	cfg := testutil.Medium(10)
-	lazy, err := Solve(testutil.MustBuild(cfg), Config{ByDensity: true, Lazy: true})
+	lazy, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{ByDensity: true, Lazy: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eager, err := Solve(testutil.MustBuild(cfg), Config{ByDensity: true})
+	eager, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{ByDensity: true})
 	if err != nil {
 		t.Fatal(err)
 	}

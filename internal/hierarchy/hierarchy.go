@@ -24,6 +24,7 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -133,8 +134,10 @@ func Partition(p *replication.Problem, k int) [][]int32 {
 	return regions
 }
 
-// Solve runs the regional mechanism to completion.
-func Solve(p *replication.Problem, cfg Config) (*Result, error) {
+// Solve runs the regional mechanism to completion. ctx is checked at the
+// top of every epoch; on cancellation Solve returns ctx.Err() wrapped with
+// the package name.
+func Solve(ctx context.Context, p *replication.Problem, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("hierarchy: nil problem")
 	}
@@ -177,6 +180,9 @@ func Solve(p *replication.Problem, cfg Config) (*Result, error) {
 
 	hierarchical := cfg.Mode == Hierarchical
 	for cfg.MaxEpochs <= 0 || res.Epochs < cfg.MaxEpochs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hierarchy: %w", err)
+		}
 		if hierarchical && cfg.TopFailsAfter > 0 && res.Epochs >= cfg.TopFailsAfter && res.DegradedAtEpoch < 0 {
 			// The central body dies; the regions keep going on their own.
 			hierarchical = false

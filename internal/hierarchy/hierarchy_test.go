@@ -1,6 +1,7 @@
 package hierarchy
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -45,11 +46,11 @@ func TestPartitionCoversAllServers(t *testing.T) {
 func TestHierarchicalMatchesFlatAGTRAM(t *testing.T) {
 	for _, regions := range []int{1, 2, 4, 8} {
 		cfg := testutil.Small(2)
-		h, err := Solve(testutil.MustBuild(cfg), Config{Regions: regions})
+		h, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{Regions: regions})
 		if err != nil {
 			t.Fatal(err)
 		}
-		flat, err := agtram.Solve(testutil.MustBuild(cfg), agtram.Config{})
+		flat, err := agtram.Solve(context.Background(), testutil.MustBuild(cfg), agtram.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestHierarchicalMatchesFlatAGTRAM(t *testing.T) {
 
 func TestAutonomousMode(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(3))
-	res, err := Solve(p, Config{Regions: 4, Mode: Autonomous})
+	res, err := Solve(context.Background(), p, Config{Regions: 4, Mode: Autonomous})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestAutonomousMode(t *testing.T) {
 		t.Fatalf("regional decisions %d != placements %d", res.RegionalDecisions, res.Placed)
 	}
 	// Autonomous places up to R replicas per epoch, so it needs fewer epochs.
-	h, err := Solve(testutil.MustBuild(testutil.Small(3)), Config{Regions: 4})
+	h, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(3)), Config{Regions: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestAutonomousMode(t *testing.T) {
 
 func TestTopLevelFailureDegradesGracefully(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(4))
-	res, err := Solve(p, Config{Regions: 4, TopFailsAfter: 3})
+	res, err := Solve(context.Background(), p, Config{Regions: 4, TopFailsAfter: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestTopLevelFailureDegradesGracefully(t *testing.T) {
 
 func TestFailedRegionsAreSilent(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(5))
-	res, err := Solve(p, Config{Regions: 4, FailedRegions: []int{1}})
+	res, err := Solve(context.Background(), p, Config{Regions: 4, FailedRegions: []int{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestFailedRegionsAreSilent(t *testing.T) {
 		t.Fatalf("savings %.2f with one failed region", res.Schema.Savings())
 	}
 	// Against a fully healthy run, quality can only be lower or equal.
-	healthy, err := Solve(testutil.MustBuild(testutil.Small(5)), Config{Regions: 4})
+	healthy, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(5)), Config{Regions: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,21 +153,21 @@ func TestFailedRegionsAreSilent(t *testing.T) {
 }
 
 func TestSolveErrors(t *testing.T) {
-	if _, err := Solve(nil, Config{}); err == nil {
+	if _, err := Solve(context.Background(), nil, Config{}); err == nil {
 		t.Fatal("nil problem accepted")
 	}
 	p := testutil.MustBuild(testutil.Small(6))
-	if _, err := Solve(p, Config{Regions: -2}); err == nil {
+	if _, err := Solve(context.Background(), p, Config{Regions: -2}); err == nil {
 		t.Fatal("negative regions accepted")
 	}
-	if _, err := Solve(p, Config{Regions: 4, FailedRegions: []int{9}}); err == nil {
+	if _, err := Solve(context.Background(), p, Config{Regions: 4, FailedRegions: []int{9}}); err == nil {
 		t.Fatal("out-of-range failed region accepted")
 	}
 }
 
 func TestMaxEpochs(t *testing.T) {
 	p := testutil.MustBuild(testutil.Small(7))
-	res, err := Solve(p, Config{Regions: 4, MaxEpochs: 2})
+	res, err := Solve(context.Background(), p, Config{Regions: 4, MaxEpochs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestSolveValidProperty(t *testing.T) {
 		if autonomous {
 			mode = Autonomous
 		}
-		res, err := Solve(p, Config{Regions: int(rawRegions%6) + 1, Mode: mode})
+		res, err := Solve(context.Background(), p, Config{Regions: int(rawRegions%6) + 1, Mode: mode})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -72,7 +73,7 @@ func TestReplayMatchesAnalyticalBaseCost(t *testing.T) {
 // agree on the cost model.
 func TestReplayMatchesAnalyticalAfterMechanism(t *testing.T) {
 	l, cm, p := buildSystem(t, 2)
-	res, err := agtram.Solve(p, agtram.Config{})
+	res, err := agtram.Solve(context.Background(), p, agtram.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestReplayMatchesAnalyticalAfterMechanism(t *testing.T) {
 
 func TestReplayTrafficConservation(t *testing.T) {
 	l, cm, p := buildSystem(t, 3)
-	res, err := agtram.Solve(p, agtram.Config{})
+	res, err := agtram.Solve(context.Background(), p, agtram.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestReplicationReducesLoadImbalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := agtram.Solve(p, agtram.Config{})
+	res, err := agtram.Solve(context.Background(), p, agtram.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,59 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/replication"
+)
+
+type fake struct{ name string }
+
+func (f fake) Name() string { return f.name }
+func (f fake) Solve(context.Context, *replication.Problem, Options) (*Outcome, error) {
+	return &Outcome{}, nil
+}
+
+func TestRegistry(t *testing.T) {
+	Register(fake{name: "zz-test-b"})
+	Register(fake{name: "zz-test-a"})
+	if _, ok := Lookup("zz-test-a"); !ok {
+		t.Fatal("registered solver not found")
+	}
+	if _, ok := Lookup("zz-missing"); ok {
+		t.Fatal("lookup invented a solver")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted and unique: %v", names)
+		}
+	}
+	for _, p := range []Solver{fake{name: "zz-test-a"}, fake{name: ""}} {
+		p := p
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%q) did not panic", p.Name())
+				}
+			}()
+			Register(p)
+		}()
+	}
+}
+
+func TestOutcomeEmit(t *testing.T) {
+	var seen []Event
+	opts := Options{OnEvent: func(e Event) { seen = append(seen, e) }, RecordEvents: true}
+	out := &Outcome{}
+	out.Emit(opts, Event{Round: 1, Object: 2, Server: 3, Value: 4})
+	if len(out.Events) != 1 || len(seen) != 1 {
+		t.Fatalf("emit lost events: recorded %d, streamed %d", len(out.Events), len(seen))
+	}
+	// Neither sink enabled: Emit is a no-op.
+	quiet := &Outcome{}
+	quiet.Emit(Options{}, Event{Round: 1})
+	if len(quiet.Events) != 0 {
+		t.Fatal("event recorded without RecordEvents")
+	}
+}

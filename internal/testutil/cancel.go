@@ -1,0 +1,32 @@
+package testutil
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// pollContext flips Err() to context.Canceled after a fixed number of calls.
+type pollContext struct {
+	context.Context
+	remaining int64
+}
+
+// CancelAfterPolls returns a context whose Err() reports context.Canceled
+// from the (n+1)-th call on. Solvers poll ctx.Err() at their loop boundaries,
+// so this cancels deterministically mid-solve without timers — exactly one
+// code path sees the flip, on every run, under -race.
+//
+// The context is otherwise inert: Done() returns a channel that never closes,
+// and it carries no deadline. Engines whose teardown hangs off Done() (the
+// network and TCP engines) must be cancelled with a real cancelable context
+// instead.
+func CancelAfterPolls(n int) context.Context {
+	return &pollContext{Context: context.Background(), remaining: int64(n)}
+}
+
+func (c *pollContext) Err() error {
+	if atomic.AddInt64(&c.remaining, -1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and registers a cleanup that fails
+// the test if goroutines are still outstanding at test end. Call it before
+// starting the code under test. The check polls because legitimate teardown
+// (conn closes, WaitGroup wakeups) takes a few scheduler ticks to settle.
+func LeakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	})
+}

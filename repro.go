@@ -21,22 +21,27 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"repro/internal/agtram"
-	"repro/internal/astar"
-	"repro/internal/auction"
-	"repro/internal/genetic"
-	"repro/internal/greedy"
-	"repro/internal/mechanism"
 	"repro/internal/replication"
 	"repro/internal/sim"
+	"repro/internal/solver"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
+
+	// Every method package registers itself with the solver registry from
+	// an init function; the facade dispatches by name only.
+	_ "repro/internal/astar"
+	_ "repro/internal/auction"
+	_ "repro/internal/genetic"
+	_ "repro/internal/greedy"
 )
 
 // TopologyKind selects the network generator family of the experimental
@@ -247,6 +252,48 @@ func Methods() []Method {
 	return []Method{GRA, AeStar, Greedy, AGTRAM, DutchAuction, EnglishAuction}
 }
 
+// KnownMethod reports whether m resolves through the solver registry.
+func KnownMethod(m Method) bool {
+	_, ok := solver.Lookup(string(m))
+	return ok
+}
+
+// MethodLabel returns the short human label the method registered for
+// itself ("AGT-RAM" for "agt-ram"); unknown methods pass through unchanged.
+func MethodLabel(m Method) string {
+	if s, ok := solver.Lookup(string(m)); ok {
+		if info, ok := s.(solver.Info); ok {
+			return info.Label()
+		}
+	}
+	return string(m)
+}
+
+// MethodInfo describes one registered method, straight from the registry.
+type MethodInfo struct {
+	Method      Method
+	Label       string
+	Description string
+}
+
+// MethodTable lists every method of Methods() with the label and one-line
+// description its solver registered. The README's method table is generated
+// from (and tested against) this, so the docs cannot drift from the code.
+func MethodTable() []MethodInfo {
+	out := make([]MethodInfo, 0, 6)
+	for _, m := range Methods() {
+		mi := MethodInfo{Method: m, Label: string(m)}
+		if s, ok := solver.Lookup(string(m)); ok {
+			if info, ok := s.(solver.Info); ok {
+				mi.Label = info.Label()
+				mi.Description = info.Description()
+			}
+		}
+		out = append(out, mi)
+	}
+	return out
+}
+
 // Options tunes a Solve call; nil or zero fields select the defaults used
 // throughout the paper reproduction.
 type Options struct {
@@ -277,6 +324,11 @@ type Options struct {
 	ExactValuation bool
 	// GRAGenerations overrides the GA's generation budget.
 	GRAGenerations int
+	// OnEvent, when non-nil, observes every placement the solver commits,
+	// synchronously and in commit order.
+	OnEvent func(Event)
+	// RecordEvents collects the placement stream into Result.Events.
+	RecordEvents bool
 }
 
 func (o *Options) orDefault() Options {
@@ -284,6 +336,70 @@ func (o *Options) orDefault() Options {
 		return Options{}
 	}
 	return *o
+}
+
+// solverOptions validates the engine-selection fields and lowers Options to
+// the registry's method-independent form. Exactly one engine may be
+// selected, and the ExactValuation ablation cannot run on a distributed
+// engine (agents would need the global schema the paper denies them).
+func (o Options) solverOptions() (solver.Options, error) {
+	var selected []string
+	if o.Sync {
+		selected = append(selected, "Sync")
+	}
+	if o.Distributed {
+		selected = append(selected, "Distributed")
+	}
+	if o.Network {
+		selected = append(selected, "Network")
+	}
+	if o.TCPAddr != "" {
+		selected = append(selected, "TCPAddr")
+	}
+	if len(selected) > 1 {
+		return solver.Options{}, fmt.Errorf("repro: conflicting engine selections %s: each Solve call picks exactly one engine",
+			strings.Join(selected, " and "))
+	}
+	if o.ExactValuation && len(selected) == 1 && selected[0] != "Sync" {
+		return solver.Options{}, fmt.Errorf("repro: ExactValuation conflicts with %s: exact global deltas need shared schema state, which only the synchronous engine has",
+			selected[0])
+	}
+	so := solver.Options{
+		Workers:        o.Workers,
+		Seed:           o.Seed,
+		TCPAddr:        o.TCPAddr,
+		FirstPrice:     o.FirstPrice,
+		ExactValuation: o.ExactValuation,
+		GRAGenerations: o.GRAGenerations,
+		RecordEvents:   o.RecordEvents,
+	}
+	switch {
+	case o.TCPAddr != "":
+		so.Engine = agtram.EngineTCP
+	case o.Network:
+		so.Engine = agtram.EngineNetwork
+	case o.Distributed:
+		so.Engine = agtram.EngineDistributed
+	case o.Sync:
+		so.Engine = agtram.EngineSync
+	}
+	if o.OnEvent != nil {
+		cb := o.OnEvent
+		so.OnEvent = func(e solver.Event) { cb(Event(e)) }
+	}
+	return so, nil
+}
+
+// Event is one committed placement decision of a solve: round-by-round for
+// AGT-RAM (with the Vickrey payment), placement-by-placement for greedy and
+// the auctions, per generation/expansion (Object and Server are -1) for GRA
+// and Aε-Star.
+type Event struct {
+	Round   int
+	Object  int32
+	Server  int32
+	Value   int64
+	Payment int64
 }
 
 // Result reports a solved placement.
@@ -297,10 +413,14 @@ type Result struct {
 	// Work is the method's dominant operation count (valuations, benefit
 	// evaluations, node expansions, clock polls or schema decodings).
 	Work int64
-	// Rounds is the number of mechanism rounds (AGT-RAM only).
+	// Rounds counts mechanism rounds (AGT-RAM), passes (auctions) or
+	// generations (GRA); zero for the single-sweep methods.
 	Rounds int
 	// Payments holds AGT-RAM's cumulative per-server motivational payments.
 	Payments []int64
+	// Events is the placement stream, recorded when Options.RecordEvents
+	// was set.
+	Events []Event
 
 	schema *replication.Schema
 }
@@ -365,89 +485,49 @@ func (in *Instance) Replay(res *Result) (*ReplayMetrics, error) {
 	}, nil
 }
 
-// Solve runs the given method against the instance.
+// Solve runs the given method against the instance. It is the
+// context.Background shim over SolveContext.
 func (in *Instance) Solve(m Method, opts *Options) (*Result, error) {
-	o := opts.orDefault()
-	start := time.Now()
-	var (
-		schema *replication.Schema
-		work   int64
-		rounds int
-		pays   []int64
-		nrep   int
-	)
-	switch m {
-	case AGTRAM:
-		cfg := agtram.Config{Workers: o.Workers}
-		if o.FirstPrice {
-			cfg.Payment = mechanism.FirstPrice
-		}
-		if o.ExactValuation {
-			cfg.Valuation = agtram.ExactDelta
-		}
-		var res *agtram.Result
-		var err error
-		switch {
-		case o.TCPAddr != "":
-			res, err = agtram.SolveTCP(in.prob, cfg, o.TCPAddr)
-		case o.Network:
-			res, err = agtram.SolveNetwork(in.prob, cfg)
-		case o.Distributed:
-			res, err = agtram.SolveDistributed(in.prob, cfg)
-		case o.Sync || o.ExactValuation:
-			res, err = agtram.Solve(in.prob, cfg)
-		default:
-			res, err = agtram.SolveIncremental(in.prob, cfg)
-		}
-		if err != nil {
-			return nil, err
-		}
-		schema, work, rounds, pays = res.Schema, res.Valuations, res.Rounds, res.Payments
-		nrep = len(res.Allocations)
-	case Greedy:
-		cfg := greedy.DefaultConfig()
-		cfg.Workers = o.Workers
-		res, err := greedy.Solve(in.prob, cfg)
-		if err != nil {
-			return nil, err
-		}
-		schema, work, nrep = res.Schema, res.Evaluations, res.Placed
-	case GRA:
-		cfg := genetic.Config{Workers: o.Workers, Seed: o.Seed, Generations: o.GRAGenerations}
-		res, err := genetic.Solve(in.prob, cfg)
-		if err != nil {
-			return nil, err
-		}
-		schema, work, nrep = res.Schema, res.Evaluations, res.Schema.Placed()
-	case AeStar:
-		res, err := astar.Solve(in.prob, astar.Config{})
-		if err != nil {
-			return nil, err
-		}
-		schema, work, nrep = res.Schema, int64(res.Expanded), res.Placed
-	case DutchAuction, EnglishAuction:
-		kind := auction.Dutch
-		if m == EnglishAuction {
-			kind = auction.English
-		}
-		res, err := auction.Solve(in.prob, auction.Config{Kind: kind})
-		if err != nil {
-			return nil, err
-		}
-		schema, work, nrep = res.Schema, res.Polls, res.Placed
-	default:
-		return nil, fmt.Errorf("repro: unknown method %q", m)
+	return in.SolveContext(context.Background(), m, opts)
+}
+
+// SolveContext runs the given method against the instance, dispatching
+// through the solver registry. Every method honours ctx: cancellation is
+// observed at least once per round / generation / expansion / clock tick,
+// returns an error wrapping ctx.Err(), and leaves the instance untouched
+// (every solve starts from a fresh primary-only schema).
+func (in *Instance) SolveContext(ctx context.Context, m Method, opts *Options) (*Result, error) {
+	s, ok := solver.Lookup(string(m))
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown method %q (registered: %s)",
+			m, strings.Join(solver.Names(), ", "))
 	}
-	return &Result{
+	so, err := opts.orDefault().solverOptions()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out, err := s.Solve(ctx, in.prob, so)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
 		Method:         m,
-		OTC:            schema.TotalCost(),
-		BaseOTC:        schema.BaseCost(),
-		SavingsPercent: schema.Savings(),
-		Replicas:       nrep,
+		OTC:            out.Schema.TotalCost(),
+		BaseOTC:        out.Schema.BaseCost(),
+		SavingsPercent: out.Schema.Savings(),
+		Replicas:       out.Replicas,
 		Runtime:        time.Since(start),
-		Work:           work,
-		Rounds:         rounds,
-		Payments:       pays,
-		schema:         schema,
-	}, nil
+		Work:           out.Work,
+		Rounds:         out.Rounds,
+		Payments:       out.Payments,
+		schema:         out.Schema,
+	}
+	if len(out.Events) > 0 {
+		res.Events = make([]Event, len(out.Events))
+		for i, e := range out.Events {
+			res.Events[i] = Event(e)
+		}
+	}
+	return res, nil
 }
