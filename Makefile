@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all vet staticcheck build test race bench ci fuzz
+.PHONY: all vet staticcheck build test race bench ci fuzz faultmatrix
 
 all: build
 
@@ -33,9 +33,17 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
+# The fault-matrix suite: injected crashes, truncated frames, severed and
+# slow links against both wire engines, plus the fault-free differential
+# check, run twice under the race detector so eviction paths and teardown
+# cannot hide behind a lucky schedule.
+faultmatrix:
+	$(GO) test -race -count=2 -run 'TestFault|TestSolveTCP|TestEvicted|TestDifferentialEngines' ./internal/agtram
+	$(GO) test -race -count=2 ./internal/faultnet
+
 # Short smoke of each fuzz target beyond its checked-in corpus.
 fuzz:
 	$(GO) test -fuzz FuzzSchemaPlaceRemove -fuzztime 10s ./internal/replication
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/topology
 
-ci: vet staticcheck build race bench
+ci: vet staticcheck build race faultmatrix bench

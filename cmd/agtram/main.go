@@ -34,11 +34,18 @@ func main() {
 		edgeP    = flag.Float64("p", 0.4, "edge probability for the random topology")
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		method   = flag.String("method", "agt-ram", "method: agt-ram|greedy|gra|ae-star|da|ea")
-		engine   = flag.String("engine", "incremental", "AGT-RAM engine: incremental|sync|distributed|network")
+		engine   = flag.String("engine", "incremental", "AGT-RAM engine: incremental|sync|distributed|network|tcp")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		all      = flag.Bool("all", false, "run all six methods and print a comparison table")
 		report   = flag.String("report", "", "write the solved placement as a JSON report to this file")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+
+		roundTimeout = flag.Duration("round-timeout", 0, "wire engines: per-agent bid/award deadline; agents that miss it are evicted (0 = none)")
+		faultDrop    = flag.Float64("fault-drop", 0, "wire engines: per-write probability that an agent's link severs, in [0,1]")
+		faultDelay   = flag.Duration("fault-delay", 0, "wire engines: delay injected before every agent write")
+		faultCrash   = flag.String("fault-crash", "", "wire engines: comma-separated agent:round crash schedule (e.g. 3:2,7:1)")
+		faultDial    = flag.String("fault-fail-dial", "", "wire engines: comma-separated agent ids whose dial always fails")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 	)
 	flag.Parse()
 
@@ -55,9 +62,16 @@ func main() {
 		fatal(fmt.Errorf("-engine only applies to -method agt-ram (got -method %s)", *method))
 	}
 	switch *engine {
-	case "incremental", "sync", "distributed", "network":
+	case "incremental", "sync", "distributed", "network", "tcp":
 	default:
-		fatal(fmt.Errorf("unknown -engine %q (want incremental|sync|distributed|network)", *engine))
+		fatal(fmt.Errorf("unknown -engine %q (want incremental|sync|distributed|network|tcp)", *engine))
+	}
+	faults, err := parseFaults(*faultDrop, *faultDelay, *faultCrash, *faultDial, *faultSeed)
+	if err != nil {
+		fatal(err)
+	}
+	if (faults != nil || *roundTimeout > 0) && *engine != "network" && *engine != "tcp" {
+		fatal(fmt.Errorf("-fault-* and -round-timeout apply to the wire engines only (-engine network|tcp)"))
 	}
 	if *requests == 0 {
 		*requests = *n * 60
@@ -90,11 +104,16 @@ func main() {
 		fatal(err)
 	}
 	opts := &repro.Options{
-		Workers:     *workers,
-		Seed:        *seed,
-		Sync:        *engine == "sync",
-		Distributed: *engine == "distributed",
-		Network:     *engine == "network",
+		Workers:      *workers,
+		Seed:         *seed,
+		Sync:         *engine == "sync",
+		Distributed:  *engine == "distributed",
+		Network:      *engine == "network",
+		RoundTimeout: *roundTimeout,
+		Faults:       faults,
+	}
+	if *engine == "tcp" {
+		opts.TCPAddr = "127.0.0.1:0"
 	}
 	res, err := inst.SolveContext(ctx, repro.Method(*method), opts)
 	if err != nil {
@@ -136,6 +155,46 @@ func main() {
 		}
 		fmt.Printf("payments: %d units across %d winning servers\n", paid, winners)
 	}
+	for _, ev := range res.Evictions {
+		if ev.Round == 0 {
+			fmt.Printf("evicted:  agent %d before the game (%s)\n", ev.Agent, ev.Reason)
+		} else {
+			fmt.Printf("evicted:  agent %d in round %d (%s)\n", ev.Agent, ev.Round, ev.Reason)
+		}
+	}
+}
+
+// parseFaults assembles a FaultConfig from the -fault-* flags, returning nil
+// when none inject anything.
+func parseFaults(drop float64, delay time.Duration, crash, dial string, seed int64) (*repro.FaultConfig, error) {
+	cfg := &repro.FaultConfig{Seed: seed, DropAll: drop, DelayAll: delay}
+	if drop < 0 || drop > 1 {
+		return nil, fmt.Errorf("-fault-drop %v outside [0,1]", drop)
+	}
+	if crash != "" {
+		cfg.CrashAtRound = map[int]int{}
+		for _, part := range strings.Split(crash, ",") {
+			var agent, round int
+			if _, err := fmt.Sscanf(part, "%d:%d", &agent, &round); err != nil || round < 1 {
+				return nil, fmt.Errorf("bad -fault-crash entry %q (want agent:round with round >= 1)", part)
+			}
+			cfg.CrashAtRound[agent] = round
+		}
+	}
+	if dial != "" {
+		cfg.FailDial = map[int]bool{}
+		for _, part := range strings.Split(dial, ",") {
+			var agent int
+			if _, err := fmt.Sscanf(part, "%d", &agent); err != nil {
+				return nil, fmt.Errorf("bad -fault-fail-dial entry %q (want an agent id)", part)
+			}
+			cfg.FailDial[agent] = true
+		}
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	return cfg, nil
 }
 
 func runAll(ctx context.Context, icfg repro.InstanceConfig, workers int, seed int64) {

@@ -17,6 +17,11 @@
 //	-chart      also render each result as an ASCII chart
 //	-quiet      suppress per-run progress lines
 //
+// The ablation-engine wire rows (gob-netpipe, gob-tcp) additionally honour
+// -round-timeout, -fault-drop, -fault-delay and -fault-seed, measuring the
+// mechanism's graceful degradation under an imperfect network (evicted
+// agents are reported per row).
+//
 // The paper's full sizes (M=3718, N=25000) correspond to -scale 1; the
 // default scale reproduces every shape in minutes on a laptop.
 package main
@@ -29,6 +34,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro"
 	"repro/internal/bench"
 )
 
@@ -45,8 +51,12 @@ var experiments = []experiment{
 	{"update-ratio", bench.UpdateRatio},
 	{"regions", bench.Regions},
 	{"adaptive", bench.Adaptive},
-	{"multiseed", func(ctx context.Context, cfg bench.Config) (*bench.Table, error) { return bench.MultiSeed(ctx, cfg, 10) }},
-	{"optgap", func(ctx context.Context, cfg bench.Config) (*bench.Table, error) { return bench.OptimalityGap(ctx, cfg, 12) }},
+	{"multiseed", func(ctx context.Context, cfg bench.Config) (*bench.Table, error) {
+		return bench.MultiSeed(ctx, cfg, 10)
+	}},
+	{"optgap", func(ctx context.Context, cfg bench.Config) (*bench.Table, error) {
+		return bench.OptimalityGap(ctx, cfg, 12)
+	}},
 	{"ablation-payment", bench.AblationPayment},
 	{"ablation-valuation", bench.AblationValuation},
 	{"ablation-engine", bench.AblationEngine},
@@ -62,6 +72,11 @@ func main() {
 		chart   = flag.Bool("chart", false, "also render each result as an ASCII chart")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+
+		roundTimeout = flag.Duration("round-timeout", 0, "ablation-engine wire rows: per-agent deadline; slow agents are evicted (0 = none)")
+		faultDrop    = flag.Float64("fault-drop", 0, "ablation-engine wire rows: per-write link-sever probability, in [0,1]")
+		faultDelay   = flag.Duration("fault-delay", 0, "ablation-engine wire rows: delay injected before every agent write")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -70,7 +85,14 @@ func main() {
 	}
 	target := flag.Arg(0)
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Workers: *workers, Sync: *sync}
+	if *faultDrop < 0 || *faultDrop > 1 {
+		fmt.Fprintf(os.Stderr, "paperbench: -fault-drop %v outside [0,1]\n", *faultDrop)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Workers: *workers, Sync: *sync, RoundTimeout: *roundTimeout}
+	if *faultDrop > 0 || *faultDelay > 0 {
+		cfg.Faults = &repro.FaultConfig{Seed: *faultSeed, DropAll: *faultDrop, DelayAll: *faultDelay}
+	}
 	if !*quiet {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}

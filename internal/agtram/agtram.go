@@ -3,9 +3,12 @@ package agtram
 import (
 	"context"
 	"fmt"
+	"net"
 	"runtime"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/mechanism"
 	"repro/internal/pool"
 	"repro/internal/replication"
@@ -46,6 +49,49 @@ type Config struct {
 	// makes it (synchronous and incremental engines). Useful for tracing
 	// and live dashboards; must not block.
 	OnRound func(Allocation)
+
+	// The remaining fields configure the wire engines (SolveNetwork and
+	// SolveTCP) only; the in-process engines have no link to fail.
+
+	// RoundTimeout bounds each per-agent bid read and award write via
+	// SetReadDeadline/SetWriteDeadline. An agent that misses a deadline is
+	// evicted from the game. 0 means no deadline — a disconnected agent
+	// still evicts promptly (its reads fail), but a live-and-silent agent
+	// can stall the round.
+	RoundTimeout time.Duration
+	// HandshakeTimeout bounds SolveTCP's connect-and-identify phase;
+	// agents that have not completed the hello by then are evicted before
+	// the first round. 0 selects a 10s default.
+	HandshakeTimeout time.Duration
+	// Faults injects deterministic faults into the wire engines' links
+	// (nil = none; the fault-free run is bit-identical to Solve).
+	Faults *faultnet.Config
+	// OnEvict, when non-nil, observes every eviction as it happens; must
+	// not block.
+	OnEvict func(Eviction)
+	// OnListen, when non-nil, receives the listener address once SolveTCP
+	// is accepting — the only way to learn an ephemeral port while the
+	// solve is still running.
+	OnListen func(net.Addr)
+}
+
+// defaultHandshakeTimeout bounds SolveTCP's identification phase when
+// Config.HandshakeTimeout is zero: long enough for any loopback or LAN
+// deployment, short enough that a dead peer cannot wedge the solve.
+const defaultHandshakeTimeout = 10 * time.Second
+
+// Eviction records one agent's removal from a distributed game: the
+// mechanism timed the agent out or lost its connection and continued with
+// the remaining bidders (the iterative auction is well-defined over any
+// live subset — each round simply takes the best of the bids that arrived).
+type Eviction struct {
+	// Agent is the evicted server.
+	Agent int
+	// Round is the 1-based round during which the agent was evicted;
+	// 0 means before the game started (dial failure or handshake timeout).
+	Round int
+	// Reason describes the fault, for diagnostics.
+	Reason string
 }
 
 func (c Config) workers() int {
@@ -84,6 +130,10 @@ type Result struct {
 	// strictly less afterwards — the allocations and payments are identical
 	// either way, only this counter differs.
 	Valuations int64
+	// Evictions lists every agent the wire engines removed from the game
+	// (timeouts, broken connections, failed dials), in eviction order.
+	// Always empty for the in-process engines and for fault-free runs.
+	Evictions []Eviction
 }
 
 // Solve runs AGT-RAM with synchronous parallel rounds (Figure 2). Agents

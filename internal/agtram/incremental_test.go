@@ -3,7 +3,9 @@ package agtram
 import (
 	"context"
 	"testing"
+	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/mechanism"
 	"repro/internal/testutil"
 )
@@ -111,13 +113,32 @@ func TestDifferentialEngines(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: distributed: %v", seed, err)
 		}
-		for name, res := range map[string]*Result{"sync": sync, "incremental": inc, "distributed": dist} {
+		// A zeroed fault config and a generous round deadline must take no
+		// eviction path: the wire engines stay bit-identical to Solve.
+		wireCfg := Config{RoundTimeout: 10 * time.Second, Faults: &faultnet.Config{}}
+		netw, err := SolveNetwork(context.Background(), testutil.MustBuild(cfg), wireCfg)
+		if err != nil {
+			t.Fatalf("seed %d: network: %v", seed, err)
+		}
+		results := map[string]*Result{"sync": sync, "incremental": inc, "distributed": dist, "network": netw}
+		if seed%5 == 0 {
+			tcp, err := SolveTCP(context.Background(), testutil.MustBuild(cfg), wireCfg, "127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("seed %d: tcp: %v", seed, err)
+			}
+			results["tcp"] = tcp
+		}
+		for name, res := range results {
 			if err := res.Schema.ValidateInvariants(); err != nil {
 				t.Fatalf("seed %d: %s invariants: %v", seed, name, err)
 			}
+			if len(res.Evictions) != 0 {
+				t.Fatalf("seed %d: %s evicted agents on a fault-free run: %+v", seed, name, res.Evictions)
+			}
+			if name != "sync" {
+				assertIdenticalRuns(t, seed, sync, res)
+			}
 		}
-		assertIdenticalRuns(t, seed, sync, inc)
-		assertIdenticalRuns(t, seed, sync, dist)
 	}
 }
 

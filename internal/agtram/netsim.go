@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/mechanism"
 	"repro/internal/replication"
 )
@@ -19,6 +21,12 @@ import (
 //
 // The allocation sequence is identical to Solve and SolveDistributed; the
 // engine exists to exercise (and let tests verify) the wire protocol.
+//
+// Like SolveTCP, the engine honours Config.Faults and Config.RoundTimeout
+// (net.Pipe supports deadlines): an agent whose link breaks, whose frames
+// arrive truncated, who crashes on schedule, or who misses a round deadline
+// is evicted and the auction continues over the remaining bidders. With a
+// nil fault config and no deadline hits the run is bit-identical to Solve.
 //
 // ctx is checked at the top of every round; because the mechanism can also
 // be blocked inside a gob read or a synchronous pipe write, a watcher
@@ -36,6 +44,16 @@ func SolveNetwork(ctx context.Context, p *replication.Problem, cfg Config) (*Res
 		return nil, fmt.Errorf("agtram: %w", err)
 	}
 
+	schema := p.NewSchema()
+	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
+	evict := func(agent, round int, reason string) {
+		ev := Eviction{Agent: agent, Round: round, Reason: reason}
+		res.Evictions = append(res.Evictions, ev)
+		if cfg.OnEvict != nil {
+			cfg.OnEvict(ev)
+		}
+	}
+
 	type peer struct {
 		conn net.Conn
 		enc  *gob.Encoder
@@ -46,13 +64,17 @@ func SolveNetwork(ctx context.Context, p *replication.Problem, cfg Config) (*Res
 	var wg sync.WaitGroup
 
 	// agentConnLoop is the remote-server side: purely local state, speaks
-	// only the wire protocol.
-	agentConnLoop := func(a *agentState, conn net.Conn) {
+	// only the wire protocol. A positive crashRound makes the agent close
+	// its link at the start of that (1-based) round instead of bidding.
+	agentConnLoop := func(a *agentState, conn net.Conn, crashRound int) {
 		defer wg.Done()
 		defer conn.Close()
 		enc := gob.NewEncoder(conn)
 		dec := gob.NewDecoder(conn)
-		for {
+		for round := 1; ; round++ {
+			if crashRound > 0 && round == crashRound {
+				return // injected crash: the deferred Close breaks the link
+			}
 			obj, val, ok := a.best()
 			if err := enc.Encode(bidMsg{Agent: a.id, Object: obj, Value: val, None: !ok}); err != nil {
 				return
@@ -79,12 +101,16 @@ func SolveNetwork(ctx context.Context, p *replication.Problem, cfg Config) (*Res
 		if !a.active() {
 			continue
 		}
+		if cfg.Faults.DialFails(i) {
+			evict(i, 0, "dial failed: injected unroutable host")
+			continue
+		}
 		mside, aside := net.Pipe()
 		peers[i] = &peer{conn: mside, enc: gob.NewEncoder(mside), dec: gob.NewDecoder(mside)}
 		order = append(order, i)
 		mconns = append(mconns, mside)
 		wg.Add(1)
-		go agentConnLoop(a, aside)
+		go agentConnLoop(a, faultnet.Wrap(aside, i, cfg.Faults), cfg.Faults.CrashRound(i))
 	}
 	// Teardown order (LIFO defers): close every mechanism-side pipe end —
 	// which unblocks any agent stuck in a synchronous Encode/Decode — stop
@@ -109,26 +135,34 @@ func SolveNetwork(ctx context.Context, p *replication.Problem, cfg Config) (*Res
 		}
 	}()
 
-	schema := p.NewSchema()
-	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
 	bids := make([]mechanism.Bid, 0, len(order))
 
 	for len(order) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("agtram: %w", err)
 		}
+		roundNo := res.Rounds + 1
 		bids = bids[:0]
 		live := order[:0]
 		for _, i := range order {
+			pe := peers[i]
+			if cfg.RoundTimeout > 0 {
+				pe.conn.SetReadDeadline(time.Now().Add(cfg.RoundTimeout))
+			}
 			var m bidMsg
-			if err := peers[i].dec.Decode(&m); err != nil {
+			if err := pe.dec.Decode(&m); err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return nil, fmt.Errorf("agtram: %w", cerr)
 				}
-				return nil, fmt.Errorf("agtram: reading bid from agent %d: %w", i, err)
+				// Crashed, severed, truncated, or too slow: out of the
+				// game; the auction continues over the remaining bidders.
+				evict(i, roundNo, fmt.Sprintf("reading bid: %v", err))
+				pe.conn.Close()
+				delete(peers, i)
+				continue
 			}
 			if m.None {
-				peers[i].conn.Close()
+				pe.conn.Close()
 				delete(peers, i)
 				continue
 			}
@@ -161,17 +195,33 @@ func SolveNetwork(ctx context.Context, p *replication.Problem, cfg Config) (*Res
 			cfg.OnRound(alloc)
 		}
 		aw := awardMsg{Object: winner.Item, Server: int32(winner.Agent), Payment: round.Payment}
+		live = order[:0]
 		for _, i := range order {
-			if err := peers[i].enc.Encode(aw); err != nil {
+			pe := peers[i]
+			if cfg.RoundTimeout > 0 {
+				pe.conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout))
+			}
+			if err := pe.enc.Encode(aw); err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return nil, fmt.Errorf("agtram: %w", cerr)
 				}
-				return nil, fmt.Errorf("agtram: broadcasting to agent %d: %w", i, err)
+				// A committed placement stands even if its winner dies
+				// right after; the agent is simply out of the rest of the
+				// game.
+				evict(i, roundNo, fmt.Sprintf("broadcasting award: %v", err))
+				pe.conn.Close()
+				delete(peers, i)
+				continue
 			}
+			live = append(live, i)
 		}
+		order = live
 	}
 	// Done frames for any agents still waiting on an award.
 	for _, i := range order {
+		if cfg.RoundTimeout > 0 {
+			peers[i].conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout))
+		}
 		_ = peers[i].enc.Encode(awardMsg{Done: true})
 	}
 	return res, nil

@@ -50,6 +50,10 @@ func (agtSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.
 		switch {
 		case opts.TCPAddr != "":
 			engine = EngineTCP
+		case opts.Faults.Enabled() || opts.RoundTimeout > 0:
+			// Fault injection and deadlines only make sense against a
+			// wire; pick the in-process wire engine by default.
+			engine = EngineNetwork
 		case opts.ExactValuation:
 			// The incremental engine's lazy heaps need the local CoR
 			// valuation; the exact-delta ablation runs synchronous.
@@ -58,12 +62,23 @@ func (agtSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.
 			engine = EngineIncremental
 		}
 	}
+	if (opts.Faults.Enabled() || opts.RoundTimeout > 0) &&
+		engine != EngineNetwork && engine != EngineTCP {
+		return nil, fmt.Errorf("agtram: faults and round timeouts apply to the wire engines only (network|tcp), not %q", engine)
+	}
+	cfg.RoundTimeout = opts.RoundTimeout
+	cfg.Faults = opts.Faults
 	out := &solver.Outcome{}
 	if opts.OnEvent != nil || opts.RecordEvents {
 		cfg.OnRound = func(al Allocation) {
 			out.Emit(opts, solver.Event{
 				Round: al.Round + 1, Object: al.Object, Server: al.Server,
 				Value: al.Value, Payment: al.Payment,
+			})
+		}
+		cfg.OnEvict = func(ev Eviction) {
+			out.Emit(opts, solver.Event{
+				Round: ev.Round, Object: -1, Server: int32(ev.Agent), Evicted: true,
 			})
 		}
 	}
@@ -97,5 +112,8 @@ func (agtSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.
 	out.Work = res.Valuations
 	out.Rounds = res.Rounds
 	out.Payments = res.Payments
+	for _, ev := range res.Evictions {
+		out.Evictions = append(out.Evictions, solver.Eviction(ev))
+	}
 	return out, nil
 }

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/mechanism"
 	"repro/internal/replication"
 )
@@ -17,6 +19,15 @@ type helloMsg struct {
 	Agent int
 }
 
+// Dial retry policy of the in-process agents: a handful of attempts with
+// capped exponential backoff, matching what a deployed agent would do
+// against a central body that is still coming up.
+const (
+	dialAttempts   = 3
+	dialBackoffMin = 10 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
+)
+
 // RunRemoteAgent speaks the agent side of the AGT-RAM wire protocol over an
 // established connection: hello, then rounds of one bid up / one award
 // down, leaving the game by sending a bid with None set. A real deployment
@@ -26,6 +37,13 @@ type helloMsg struct {
 // unblock any in-flight codec call and returns ctx.Err() wrapped with the
 // package name.
 func RunRemoteAgent(ctx context.Context, conn net.Conn, p *replication.Problem, agentID int) error {
+	return runRemoteAgent(ctx, conn, p, agentID, 0)
+}
+
+// runRemoteAgent is RunRemoteAgent plus fault injection: when crashRound is
+// positive the agent closes its connection at the start of that (1-based)
+// round instead of bidding — a mid-game crash as the mechanism sees it.
+func runRemoteAgent(ctx context.Context, conn net.Conn, p *replication.Problem, agentID, crashRound int) error {
 	if agentID < 0 || agentID >= p.M {
 		return fmt.Errorf("agtram: agent id %d out of range [0,%d)", agentID, p.M)
 	}
@@ -47,9 +65,13 @@ func RunRemoteAgent(ctx context.Context, conn net.Conn, p *replication.Problem, 
 		return fmt.Errorf("agtram: sending hello: %w", err)
 	}
 	a := newAgentState(p, agentID)
-	for {
+	for round := 1; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("agtram: %w", err)
+		}
+		if crashRound > 0 && round == crashRound {
+			conn.Close()
+			return fmt.Errorf("agtram: agent %d crashed at round %d (injected)", agentID, round)
 		}
 		obj, val, ok := a.best()
 		if err := enc.Encode(bidMsg{Agent: agentID, Object: obj, Value: val, None: !ok}); err != nil {
@@ -79,6 +101,42 @@ func RunRemoteAgent(ctx context.Context, conn net.Conn, p *replication.Problem, 
 	}
 }
 
+// dialAgent connects one agent to the mechanism with retry and capped
+// backoff. Injected dial failures (an unroutable agent) short-circuit
+// before touching the network.
+func dialAgent(ctx context.Context, addr string, id int, faults *faultnet.Config, timeout time.Duration) (net.Conn, error) {
+	if faults.DialFails(id) {
+		return nil, fmt.Errorf("dial %s: injected unroutable host", addr)
+	}
+	d := net.Dialer{Timeout: timeout}
+	backoff := dialBackoffMin
+	var lastErr error
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+			backoff *= 2
+			if backoff > dialBackoffMax {
+				backoff = dialBackoffMax
+			}
+		}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("dial %s (%d attempts): %w", addr, dialAttempts, lastErr)
+}
+
 // SolveTCP runs the mechanism over real TCP sockets on the loopback
 // interface: it listens on addr (use "127.0.0.1:0" for an ephemeral port),
 // spawns one agent goroutine per active server that dials in and speaks
@@ -88,6 +146,16 @@ func RunRemoteAgent(ctx context.Context, conn net.Conn, p *replication.Problem, 
 // This is the deployment-shaped engine: the agent side only needs the
 // public problem data and its own id, so the same protocol runs unchanged
 // with agents in separate processes or hosts.
+//
+// The engine degrades gracefully instead of failing atomically. Agents
+// whose dial fails, whose hello never arrives within Config.HandshakeTimeout,
+// or whose connection breaks or times out mid-game (Config.RoundTimeout)
+// are EVICTED: recorded in Result.Evictions (and Config.OnEvict) and
+// removed from the player set, and the auction continues over the
+// remaining bidders. A connection that arrives but never identifies itself
+// cannot block the game — the hello read carries its own deadline, and the
+// identification phase as a whole is bounded. With no faults and no
+// deadline hits the run is bit-identical to Solve.
 //
 // ctx is checked at the top of every round; a watcher goroutine closes the
 // listener and every accepted connection when ctx fires, so accepts and
@@ -103,11 +171,18 @@ func SolveTCP(ctx context.Context, p *replication.Problem, cfg Config, addr stri
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("agtram: %w", err)
 	}
+	handshakeTimeout := cfg.HandshakeTimeout
+	if handshakeTimeout <= 0 {
+		handshakeTimeout = defaultHandshakeTimeout
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("agtram: listen: %w", err)
 	}
 	defer ln.Close()
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr())
+	}
 
 	// The watcher tears the transport down when ctx fires. conns is
 	// append-only under connMu; TCP closes are idempotent, so racing the
@@ -136,87 +211,212 @@ func SolveTCP(ctx context.Context, p *replication.Problem, cfg Config, addr stri
 			expected = append(expected, i)
 		}
 	}
+	expectedSet := make(map[int]bool, len(expected))
+	for _, id := range expected {
+		expectedSet[id] = true
+	}
+
+	schema := p.NewSchema()
+	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
+	evict := func(agent, round int, reason string) {
+		ev := Eviction{Agent: agent, Round: round, Reason: reason}
+		res.Evictions = append(res.Evictions, ev)
+		if cfg.OnEvict != nil {
+			cfg.OnEvict(ev)
+		}
+	}
 
 	// Launch the agents; in a real deployment these are remote processes.
-	var agentErrs sync.Map
+	// A failed dial is REPORTED to the handshake loop — the loop must not
+	// wait for a hello that can never arrive (the old write-only error map
+	// deadlocked the accept loop here).
+	type dialFailure struct {
+		agent int
+		err   error
+	}
+	dialFailCh := make(chan dialFailure, len(expected))
 	var wg sync.WaitGroup
+	defer wg.Wait()
 	for _, id := range expected {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", ln.Addr().String())
+			conn, err := dialAgent(ctx, ln.Addr().String(), id, cfg.Faults, handshakeTimeout)
 			if err != nil {
-				agentErrs.Store(id, err)
+				dialFailCh <- dialFailure{agent: id, err: err}
 				return
 			}
 			defer conn.Close()
-			if err := RunRemoteAgent(ctx, conn, p, id); err != nil {
-				agentErrs.Store(id, err)
-			}
+			// The mechanism's own read errors decide evictions; the
+			// agent-side error (if any) is the same broken link seen from
+			// the other end, so it is not separately propagated.
+			_ = runRemoteAgent(ctx, faultnet.Wrap(conn, id, cfg.Faults), p, id, cfg.Faults.CrashRound(id))
 		}(id)
 	}
-	defer wg.Wait()
 
-	// Accept and identify every agent.
+	// Identification phase: accept asynchronously and read each hello
+	// under its own deadline, so no single connection — silent, slow, or
+	// hostile — can block the others. hellos and dial failures race into
+	// the main loop until every expected agent is resolved one way or the
+	// other, or the phase deadline fires.
 	type peer struct {
 		conn net.Conn
 		enc  *gob.Encoder
 		dec  *gob.Decoder
 	}
+	type hello struct {
+		agent int
+		peer  *peer
+	}
+	helloCh := make(chan hello, len(expected)+8)
+	var hsMu sync.Mutex
+	hsOver := false
+	hsPending := make(map[net.Conn]bool)
+	var hsWg sync.WaitGroup
+	var hsOnce sync.Once
+	// finishHandshake ends the identification phase: no new connections
+	// (the game's transport set is fixed, and the port is freed), and any
+	// connection still unidentified is closed, unblocking its hello read.
+	finishHandshake := func() {
+		hsOnce.Do(func() {
+			hsMu.Lock()
+			hsOver = true
+			for c := range hsPending {
+				c.Close()
+			}
+			hsMu.Unlock()
+			ln.Close()
+		})
+	}
+	defer func() {
+		// Drain hellos that lost the race with the end of the phase so
+		// their connections close. Runs after hsWg.Wait below (LIFO), so
+		// no more sends can arrive.
+		for {
+			select {
+			case h := <-helloCh:
+				h.peer.conn.Close()
+			default:
+				return
+			}
+		}
+	}()
+	defer hsWg.Wait()
+	defer finishHandshake()
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed: phase over or ctx fired
+			}
+			connMu.Lock()
+			conns = append(conns, conn)
+			connMu.Unlock()
+			hsMu.Lock()
+			if hsOver {
+				hsMu.Unlock()
+				conn.Close()
+				continue
+			}
+			hsPending[conn] = true
+			hsWg.Add(1)
+			hsMu.Unlock()
+			go func(conn net.Conn) {
+				defer hsWg.Done()
+				// A peer that connects and goes silent must not hold the
+				// game hostage: the hello read has its own deadline.
+				conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+				dec := gob.NewDecoder(conn)
+				var h helloMsg
+				err := dec.Decode(&h)
+				conn.SetReadDeadline(time.Time{})
+				hsMu.Lock()
+				delete(hsPending, conn)
+				over := hsOver
+				hsMu.Unlock()
+				if err != nil || over {
+					conn.Close()
+					return
+				}
+				select {
+				case helloCh <- hello{agent: h.Agent, peer: &peer{conn: conn, enc: gob.NewEncoder(conn), dec: dec}}:
+				default:
+					conn.Close() // channel full: flooded with impostors
+				}
+			}(conn)
+		}
+	}()
+
 	peers := make(map[int]*peer, len(expected))
 	defer func() {
 		for _, pe := range peers {
 			pe.conn.Close()
 		}
 	}()
-	for range expected {
-		conn, err := ln.Accept()
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("agtram: %w", cerr)
+	hsDeadline := time.NewTimer(handshakeTimeout)
+	defer hsDeadline.Stop()
+	dialFailed := make(map[int]bool, len(expected))
+	for resolved := 0; resolved < len(expected); {
+		select {
+		case h := <-helloCh:
+			if !expectedSet[h.agent] || peers[h.agent] != nil || dialFailed[h.agent] {
+				h.peer.conn.Close() // impostor or duplicate: not part of the game
+				continue
 			}
-			return nil, fmt.Errorf("agtram: accept: %w", err)
-		}
-		connMu.Lock()
-		conns = append(conns, conn)
-		connMu.Unlock()
-		dec := gob.NewDecoder(conn)
-		var hello helloMsg
-		if err := dec.Decode(&hello); err != nil {
-			conn.Close()
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("agtram: %w", cerr)
+			peers[h.agent] = h.peer
+			resolved++
+		case f := <-dialFailCh:
+			dialFailed[f.agent] = true
+			evict(f.agent, 0, fmt.Sprintf("dial failed: %v", f.err))
+			resolved++
+		case <-hsDeadline.C:
+			for _, id := range expected {
+				if peers[id] == nil && !dialFailed[id] {
+					evict(id, 0, "handshake timeout: no hello")
+				}
 			}
-			return nil, fmt.Errorf("agtram: reading hello: %w", err)
+			resolved = len(expected)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("agtram: %w", ctx.Err())
 		}
-		if hello.Agent < 0 || hello.Agent >= p.M || peers[hello.Agent] != nil {
-			conn.Close()
-			return nil, fmt.Errorf("agtram: bad or duplicate hello from agent %d", hello.Agent)
-		}
-		peers[hello.Agent] = &peer{conn: conn, enc: gob.NewEncoder(conn), dec: dec}
 	}
+	finishHandshake()
 
-	schema := p.NewSchema()
-	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
-	order := append([]int(nil), expected...)
+	order := make([]int, 0, len(peers))
+	for _, id := range expected {
+		if peers[id] != nil {
+			order = append(order, id)
+		}
+	}
 	bids := make([]mechanism.Bid, 0, len(order))
 
 	for len(order) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("agtram: %w", err)
 		}
+		roundNo := res.Rounds + 1
 		bids = bids[:0]
 		live := order[:0]
 		for _, i := range order {
+			pe := peers[i]
+			if cfg.RoundTimeout > 0 {
+				pe.conn.SetReadDeadline(time.Now().Add(cfg.RoundTimeout))
+			}
 			var m bidMsg
-			if err := peers[i].dec.Decode(&m); err != nil {
+			if err := pe.dec.Decode(&m); err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return nil, fmt.Errorf("agtram: %w", cerr)
 				}
-				return nil, fmt.Errorf("agtram: reading bid from agent %d: %w", i, err)
+				// Timed out or disconnected: out of the game; the auction
+				// continues over the remaining bidders.
+				evict(i, roundNo, fmt.Sprintf("reading bid: %v", err))
+				pe.conn.Close()
+				delete(peers, i)
+				continue
 			}
 			if m.None {
-				peers[i].conn.Close()
+				pe.conn.Close()
 				delete(peers, i)
 				continue
 			}
@@ -247,26 +447,33 @@ func SolveTCP(ctx context.Context, p *replication.Problem, cfg Config, addr stri
 			cfg.OnRound(alloc)
 		}
 		aw := awardMsg{Object: winner.Item, Server: int32(winner.Agent), Payment: round.Payment}
+		live = order[:0]
 		for _, i := range order {
-			if err := peers[i].enc.Encode(aw); err != nil {
+			pe := peers[i]
+			if cfg.RoundTimeout > 0 {
+				pe.conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout))
+			}
+			if err := pe.enc.Encode(aw); err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return nil, fmt.Errorf("agtram: %w", cerr)
 				}
-				return nil, fmt.Errorf("agtram: broadcasting to agent %d: %w", i, err)
+				// A committed placement stands even if its winner dies
+				// right after: the mechanism's accounting already happened;
+				// the agent is simply out of the rest of the game.
+				evict(i, roundNo, fmt.Sprintf("broadcasting award: %v", err))
+				pe.conn.Close()
+				delete(peers, i)
+				continue
 			}
+			live = append(live, i)
 		}
+		order = live
 	}
 	for _, i := range order {
+		if cfg.RoundTimeout > 0 {
+			peers[i].conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout))
+		}
 		_ = peers[i].enc.Encode(awardMsg{Done: true})
-	}
-
-	var firstErr error
-	agentErrs.Range(func(k, v interface{}) bool {
-		firstErr = fmt.Errorf("agtram: agent %v: %w", k, v.(error))
-		return false
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return res, nil
 }

@@ -93,12 +93,14 @@ func AblationValuation(ctx context.Context, cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// AblationEngine compares the four AGT-RAM engines (event-driven
+// AblationEngine compares the five AGT-RAM engines (event-driven
 // incremental, synchronous-parallel, goroutine message passing, gob over
-// net.Pipe) — identical allocations, different execution substrate — and
-// the centralized raw-benefit scan (greedy without density) as the
-// non-mechanism control. The valuations column isolates the incremental
-// engine's algorithmic win from wall-clock noise.
+// net.Pipe, gob over loopback TCP) — identical allocations, different
+// execution substrate — and the centralized raw-benefit scan (greedy
+// without density) as the non-mechanism control. The valuations column
+// isolates the incremental engine's algorithmic win from wall-clock noise.
+// Config.RoundTimeout and Config.Faults apply to the two wire rows,
+// measuring the mechanism's degradation under an imperfect network.
 func AblationEngine(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	m := scaled(paperM, cfg.Scale/2, 20)
@@ -120,7 +122,10 @@ func AblationEngine(ctx context.Context, cfg Config) (*Table, error) {
 		{"incremental", repro.Options{Workers: cfg.Workers}},
 		{"sync-parallel", repro.Options{Workers: cfg.Workers, Sync: true}},
 		{"goroutine-msgs", repro.Options{Workers: cfg.Workers, Distributed: true}},
-		{"gob-netpipe", repro.Options{Workers: cfg.Workers, Network: true}},
+		{"gob-netpipe", repro.Options{Workers: cfg.Workers, Network: true,
+			RoundTimeout: cfg.RoundTimeout, Faults: cfg.Faults}},
+		{"gob-tcp", repro.Options{Workers: cfg.Workers, TCPAddr: "127.0.0.1:0",
+			RoundTimeout: cfg.RoundTimeout, Faults: cfg.Faults}},
 	}
 	for _, e := range engines {
 		inst, err := repro.NewInstance(icfg)
@@ -132,8 +137,8 @@ func AblationEngine(ctx context.Context, cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg.progress("Ablation C: %s %.2f%% in %s (%d valuations)",
-			e.name, res.SavingsPercent, time.Since(start).Round(time.Millisecond), res.Work)
+		cfg.progress("Ablation C: %s %.2f%% in %s (%d valuations, %d evictions)",
+			e.name, res.SavingsPercent, time.Since(start).Round(time.Millisecond), res.Work, len(res.Evictions))
 		t.Rows = append(t.Rows, Row{Label: e.name,
 			Values: []float64{res.SavingsPercent, res.Runtime.Seconds(), float64(res.Work)}})
 	}

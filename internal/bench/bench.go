@@ -40,6 +40,12 @@ type Config struct {
 	Methods []repro.Method
 	// GRAGenerations overrides the GA budget (default 30).
 	GRAGenerations int
+	// RoundTimeout bounds per-agent reads/writes in the AGT-RAM wire
+	// engines during the engine ablation; agents that miss it are evicted.
+	RoundTimeout time.Duration
+	// Faults injects deterministic faults into the AGT-RAM wire engines
+	// during the engine ablation (nil = none).
+	Faults *repro.FaultConfig
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
 }

@@ -86,15 +86,27 @@ func Regions(ctx context.Context, cfg Config) (*Table, error) {
 		Columns:  []string{"hier savings", "auto savings", "fail savings", "top decisions", "auto epochs"},
 	}
 	for _, regions := range []int{1, 2, 4, 8, 16} {
-		hier, err := hierarchy.Solve(ctx, cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions})
+		ph, err := cloneProblem(cfg, m, n)
 		if err != nil {
 			return nil, err
 		}
-		auto, err := hierarchy.Solve(ctx, cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions, Mode: hierarchy.Autonomous})
+		hier, err := hierarchy.Solve(ctx, ph, hierarchy.Config{Regions: regions})
 		if err != nil {
 			return nil, err
 		}
-		fail, err := hierarchy.Solve(ctx, cloneProblem(cfg, m, n), hierarchy.Config{Regions: regions, TopFailsAfter: hier.Epochs / 2})
+		pa, err := cloneProblem(cfg, m, n)
+		if err != nil {
+			return nil, err
+		}
+		auto, err := hierarchy.Solve(ctx, pa, hierarchy.Config{Regions: regions, Mode: hierarchy.Autonomous})
+		if err != nil {
+			return nil, err
+		}
+		pf, err := cloneProblem(cfg, m, n)
+		if err != nil {
+			return nil, err
+		}
+		fail, err := hierarchy.Solve(ctx, pf, hierarchy.Config{Regions: regions, TopFailsAfter: hier.Epochs / 2})
 		if err != nil {
 			return nil, err
 		}
@@ -187,12 +199,8 @@ func buildProblem(cfg Config, m, n int, rw, capacity float64) (*replication.Prob
 	return replication.NewProblem(topology.AllPairs(g, 0), w, caps)
 }
 
-func cloneProblem(cfg Config, m, n int) *replication.Problem {
-	p, err := buildProblem(cfg, m, n, 0.90, 15)
-	if err != nil {
-		panic(err)
-	}
-	return p
+func cloneProblem(cfg Config, m, n int) (*replication.Problem, error) {
+	return buildProblem(cfg, m, n, 0.90, 15)
 }
 
 // OptimalityGap measures, on tiny instances solvable to proven optimality,

@@ -1,0 +1,135 @@
+package faultnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNilConfigIsInert(t *testing.T) {
+	var c *Config
+	if c.Enabled() {
+		t.Fatal("nil config enabled")
+	}
+	if c.DropProb(3) != 0 || c.DelayFor(3) != 0 || c.CrashRound(3) != 0 || c.DialFails(3) {
+		t.Fatal("nil config injects faults")
+	}
+	if _, ok := c.TruncateBudget(3); ok {
+		t.Fatal("nil config truncates")
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if Wrap(a, 3, c) != a {
+		t.Fatal("nil config wrapped the conn")
+	}
+	if Wrap(a, 3, &Config{}) != a {
+		t.Fatal("zero config wrapped the conn")
+	}
+}
+
+func TestPerAgentOverridesAll(t *testing.T) {
+	c := &Config{
+		DropAll:  0.5,
+		Drop:     map[int]float64{1: 0},
+		DelayAll: time.Second,
+		Delay:    map[int]time.Duration{1: 0},
+	}
+	if !c.Enabled() {
+		t.Fatal("config with faults not enabled")
+	}
+	if c.DropProb(1) != 0 || c.DropProb(2) != 0.5 {
+		t.Fatalf("drop override wrong: %v %v", c.DropProb(1), c.DropProb(2))
+	}
+	if c.DelayFor(1) != 0 || c.DelayFor(2) != time.Second {
+		t.Fatalf("delay override wrong: %v %v", c.DelayFor(1), c.DelayFor(2))
+	}
+}
+
+func TestDropSeversDeterministically(t *testing.T) {
+	sever := func() int {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go func() { // drain so pipe writes complete
+			buf := make([]byte, 64)
+			for {
+				if _, err := b.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		w := Wrap(a, 7, &Config{Seed: 42, Drop: map[int]float64{7: 0.5}})
+		for i := 1; i <= 100; i++ {
+			if _, err := w.Write([]byte("x")); err != nil {
+				return i
+			}
+		}
+		return 0
+	}
+	first := sever()
+	if first == 0 {
+		t.Fatal("p=0.5 link never severed in 100 writes")
+	}
+	if again := sever(); again != first {
+		t.Fatalf("sever point not deterministic: %d vs %d", first, again)
+	}
+	// A severed link stays severed.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	w := Wrap(a, 7, &Config{Seed: 42, Drop: map[int]float64{7: 1}})
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("p=1 write survived")
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write on severed link survived")
+	}
+}
+
+func TestTruncateAfterBudget(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			n, err := b.Read(buf[total:])
+			total += n
+			if err != nil {
+				got <- buf[:total]
+				return
+			}
+		}
+	}()
+	w := Wrap(a, 2, &Config{TruncateAfter: map[int]int{2: 5}})
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatalf("write under budget failed: %v", err)
+	}
+	if n, err := w.Write([]byte("defgh")); err == nil || n != 2 {
+		t.Fatalf("truncating write: n=%d err=%v, want n=2 and an error", n, err)
+	}
+	if s := string(<-got); s != "abcde" {
+		t.Fatalf("peer received %q, want exactly the 5-byte budget", s)
+	}
+}
+
+func TestDelaySleepsPerWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 8)
+		b.Read(buf)
+	}()
+	w := Wrap(a, 0, &Config{DelayAll: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 30ms delay", d)
+	}
+}

@@ -126,11 +126,18 @@ func (r PlacementReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// ReadPlacement parses a report written by WriteJSON.
+// ReadPlacement parses a report written by WriteJSON. The input must be a
+// single JSON document: trailing garbage after it is rejected, so a
+// truncated-then-concatenated or otherwise corrupted file cannot silently
+// pass as a valid report.
 func ReadPlacement(r io.Reader) (PlacementReport, error) {
 	var rep PlacementReport
-	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
 		return rep, fmt.Errorf("replication: decoding placement: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return PlacementReport{}, fmt.Errorf("replication: trailing data after placement document")
 	}
 	return rep, nil
 }
@@ -144,10 +151,15 @@ func (p *Problem) Restore(rep PlacementReport) (*Schema, error) {
 			rep.Servers, rep.Objects, p.M, p.N)
 	}
 	s := p.NewSchema()
+	seen := make(map[int32]bool, len(rep.PerObject))
 	for _, obj := range rep.PerObject {
 		if obj.Object < 0 || int(obj.Object) >= p.N {
 			return nil, fmt.Errorf("replication: report references object %d", obj.Object)
 		}
+		if seen[obj.Object] {
+			return nil, fmt.Errorf("replication: report lists object %d twice", obj.Object)
+		}
+		seen[obj.Object] = true
 		if p.Work.Primary[obj.Object] != obj.Primary {
 			return nil, fmt.Errorf("replication: object %d primary mismatch: report %d, problem %d",
 				obj.Object, obj.Primary, p.Work.Primary[obj.Object])

@@ -116,6 +116,36 @@ func TestReadPlacementGarbage(t *testing.T) {
 	}
 }
 
+func TestReadPlacementRejectsTrailingData(t *testing.T) {
+	p := tinyProblem(t, 10)
+	var buf bytes.Buffer
+	if err := p.NewSchema().Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := append([]byte(nil), buf.Bytes()...)
+	if _, err := ReadPlacement(bytes.NewReader(clean)); err != nil {
+		t.Fatalf("clean document rejected: %v", err)
+	}
+	for _, trailer := range []string{"{}", "garbage", `{"servers":1}`} {
+		dirty := append(append([]byte(nil), clean...), trailer...)
+		if _, err := ReadPlacement(bytes.NewReader(dirty)); err == nil {
+			t.Fatalf("trailing %q accepted", trailer)
+		}
+	}
+}
+
+func TestRestoreRejectsDuplicateObjects(t *testing.T) {
+	p, err := randomProblem(4, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.NewSchema().Report()
+	rep.PerObject = append(rep.PerObject, rep.PerObject[0])
+	if _, err := p.Restore(rep); err == nil {
+		t.Fatal("duplicate PerObject entry accepted")
+	}
+}
+
 func TestServerReportAccounting(t *testing.T) {
 	p := tinyProblem(t, 10)
 	s := p.NewSchema()

@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/replication"
 )
 
@@ -56,8 +58,16 @@ type Options struct {
 	// GRAGenerations bounds the genetic method's generations; 0 means the
 	// method default.
 	GRAGenerations int
+	// RoundTimeout bounds each per-agent read/write in the AGT-RAM wire
+	// engines (network, tcp); an agent that misses a deadline is evicted.
+	// Zero means no deadline. Rejected by other methods and engines.
+	RoundTimeout time.Duration
+	// Faults injects deterministic faults into the AGT-RAM wire engines'
+	// links (nil = none). Rejected by other methods and engines.
+	Faults *faultnet.Config
 	// OnEvent, when non-nil, is invoked synchronously for every placement
-	// the solver commits, in commit order.
+	// the solver commits — and every eviction, for solvers that evict —
+	// in commit order.
 	OnEvent func(Event)
 	// RecordEvents appends every placement to Outcome.Events.
 	RecordEvents bool
@@ -80,6 +90,10 @@ type Event struct {
 	// Payment is the mechanism's payment to the winner (AGT-RAM only;
 	// zero for the baselines).
 	Payment int64
+	// Evicted marks an eviction event rather than a placement: Server is
+	// the evicted agent, Round the round it was removed in (0 = before the
+	// game started), Object is -1, Value and Payment are zero.
+	Evicted bool
 }
 
 // Outcome is the shared result type every solver returns.
@@ -100,6 +114,23 @@ type Outcome struct {
 	// Events is the placement stream, populated when
 	// Options.RecordEvents is set.
 	Events []Event
+	// Evictions lists the agents the AGT-RAM wire engines removed from
+	// the game (timeouts, broken links, failed dials), in eviction order;
+	// empty for every other method and for fault-free runs.
+	Evictions []Eviction
+}
+
+// Eviction records one agent's removal from a distributed game: the
+// mechanism timed the agent out or lost its connection and continued with
+// the remaining bidders.
+type Eviction struct {
+	// Agent is the evicted server.
+	Agent int
+	// Round is the 1-based round during which the agent was evicted;
+	// 0 means before the game started (dial failure or handshake timeout).
+	Round int
+	// Reason describes the fault, for diagnostics.
+	Reason string
 }
 
 // Emit forwards ev to opts.OnEvent and records it when opts.RecordEvents is

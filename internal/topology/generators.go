@@ -47,7 +47,9 @@ func Random(n int, p float64, w WeightRange, r *stats.RNG) (*Graph, error) {
 			}
 		}
 	}
-	ensureConnected(g, w, r)
+	if err := ensureConnected(g, w, r); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
@@ -81,7 +83,9 @@ func Waxman(n int, alpha, beta float64, w WeightRange, r *stats.RNG) (*Graph, er
 			}
 		}
 	}
-	ensureConnected(g, w, r)
+	if err := ensureConnected(g, w, r); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
@@ -290,18 +294,26 @@ func Line(n int) *Graph {
 }
 
 // ensureConnected stitches disconnected components together with random
-// edges so that every c(i,j) is finite, as the DRP requires.
-func ensureConnected(g *Graph, w WeightRange, r *stats.RNG) {
+// edges so that every c(i,j) is finite, as the DRP requires. The stitch
+// edge joins two distinct components, but a sampled weight can still be
+// rejected by the graph, so the error is propagated rather than panicked.
+func ensureConnected(g *Graph, w WeightRange, r *stats.RNG) error {
 	comps := g.Components()
 	for len(comps) > 1 {
 		a := comps[0][r.Intn(len(comps[0]))]
 		b := comps[1][r.Intn(len(comps[1]))]
-		must(g.AddEdge(a, b, w.sample(r)))
+		if err := g.AddEdge(a, b, w.sample(r)); err != nil {
+			return fmt.Errorf("topology: stitching components: %w", err)
+		}
 		merged := append(comps[0], comps[1]...)
 		comps = append([][]int{merged}, comps[2:]...)
 	}
+	return nil
 }
 
+// must panics on error. Reserved for the literal constructors (Ring, Grid,
+// Star, Line) whose edges are provably valid by construction; generator
+// code paths with data-dependent failure modes return errors instead.
 func must(err error) {
 	if err != nil {
 		panic(err)

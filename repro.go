@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/agtram"
+	"repro/internal/faultnet"
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/solver"
@@ -324,11 +325,37 @@ type Options struct {
 	ExactValuation bool
 	// GRAGenerations overrides the GA's generation budget.
 	GRAGenerations int
+	// RoundTimeout bounds each per-agent bid read and award write in the
+	// AGT-RAM wire engines (Network, TCPAddr); an agent that misses a
+	// deadline is evicted from the game and the auction continues over the
+	// remaining bidders. Zero means no deadline.
+	RoundTimeout time.Duration
+	// Faults injects deterministic faults into the AGT-RAM wire engines'
+	// links for testing (nil = none; the fault-free run is bit-identical
+	// to the in-process engines). Requires Network or TCPAddr.
+	Faults *FaultConfig
 	// OnEvent, when non-nil, observes every placement the solver commits,
-	// synchronously and in commit order.
+	// synchronously and in commit order (and every eviction, marked by
+	// Event.Evicted).
 	OnEvent func(Event)
 	// RecordEvents collects the placement stream into Result.Events.
 	RecordEvents bool
+}
+
+// FaultConfig describes deterministic faults to inject into the AGT-RAM
+// wire engines: per-agent drop probability (severing the link), delivery
+// delay, crash-at-round schedules, refused dials and truncated frames. See
+// the field docs in internal/faultnet.
+type FaultConfig = faultnet.Config
+
+// Eviction records one agent's removal from a distributed game: the
+// mechanism timed the agent out or lost its connection and continued with
+// the remaining bidders. Round 0 means the agent never entered the game
+// (dial failure or handshake timeout).
+type Eviction struct {
+	Agent  int
+	Round  int
+	Reason string
 }
 
 func (o *Options) orDefault() Options {
@@ -364,6 +391,9 @@ func (o Options) solverOptions() (solver.Options, error) {
 		return solver.Options{}, fmt.Errorf("repro: ExactValuation conflicts with %s: exact global deltas need shared schema state, which only the synchronous engine has",
 			selected[0])
 	}
+	if (o.Faults.Enabled() || o.RoundTimeout > 0) && !o.Network && o.TCPAddr == "" {
+		return solver.Options{}, fmt.Errorf("repro: Faults and RoundTimeout apply to the wire engines only: select Network or TCPAddr")
+	}
 	so := solver.Options{
 		Workers:        o.Workers,
 		Seed:           o.Seed,
@@ -371,6 +401,8 @@ func (o Options) solverOptions() (solver.Options, error) {
 		FirstPrice:     o.FirstPrice,
 		ExactValuation: o.ExactValuation,
 		GRAGenerations: o.GRAGenerations,
+		RoundTimeout:   o.RoundTimeout,
+		Faults:         o.Faults,
 		RecordEvents:   o.RecordEvents,
 	}
 	switch {
@@ -400,6 +432,10 @@ type Event struct {
 	Server  int32
 	Value   int64
 	Payment int64
+	// Evicted marks an eviction event rather than a placement: Server is
+	// the evicted agent, Round the round it was removed in (0 = before
+	// the game started), Object is -1.
+	Evicted bool
 }
 
 // Result reports a solved placement.
@@ -421,6 +457,10 @@ type Result struct {
 	// Events is the placement stream, recorded when Options.RecordEvents
 	// was set.
 	Events []Event
+	// Evictions lists the agents the AGT-RAM wire engines removed from the
+	// game (timeouts, broken links, failed dials), in eviction order;
+	// empty for the in-process engines and for fault-free runs.
+	Evictions []Eviction
 
 	schema *replication.Schema
 }
@@ -527,6 +567,12 @@ func (in *Instance) SolveContext(ctx context.Context, m Method, opts *Options) (
 		res.Events = make([]Event, len(out.Events))
 		for i, e := range out.Events {
 			res.Events[i] = Event(e)
+		}
+	}
+	if len(out.Evictions) > 0 {
+		res.Evictions = make([]Eviction, len(out.Evictions))
+		for i, ev := range out.Evictions {
+			res.Evictions[i] = Eviction(ev)
 		}
 	}
 	return res, nil
