@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all vet staticcheck build test race bench ci fuzz faultmatrix
+.PHONY: all vet staticcheck build test race bench ci fuzz faultmatrix loadtest
 
 all: build
 
@@ -41,9 +41,16 @@ faultmatrix:
 	$(GO) test -race -count=2 -run 'TestFault|TestSolveTCP|TestEvicted|TestDifferentialEngines' ./internal/agtram
 	$(GO) test -race -count=2 ./internal/faultnet
 
+# The daemon's concurrency load test: /route reads race delta batches and
+# background solves under the race detector, with goroutine-leak checking.
+# Run twice so the RCU swap cannot pass on one lucky schedule.
+loadtest:
+	$(GO) test -race -count=2 -run 'TestRouteUnderConcurrentDeltas' ./internal/server
+
 # Short smoke of each fuzz target beyond its checked-in corpus.
 fuzz:
 	$(GO) test -fuzz FuzzSchemaPlaceRemove -fuzztime 10s ./internal/replication
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/topology
+	$(GO) test -fuzz FuzzDeltasDecoder -fuzztime 10s ./internal/server
 
-ci: vet staticcheck build race faultmatrix bench
+ci: vet staticcheck build race loadtest faultmatrix bench

@@ -8,10 +8,12 @@
 //	agtram -method greedy -M 128 -N 800 -capacity 20 -rw 0.9
 //	agtram -method agt-ram -engine sync -M 64 -N 400
 //	agtram -all -M 128 -N 800   # run all six methods, print a comparison
+//	agtram -json -M 64 -N 400   # machine-readable result on stdout
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,32 +22,75 @@ import (
 	"time"
 
 	"repro"
+	"repro/cmd/internal/cliflags"
 	"repro/internal/bench"
 )
 
-func main() {
-	var (
-		m        = flag.Int("M", 128, "number of servers")
-		n        = flag.Int("N", 800, "number of objects")
-		requests = flag.Int("requests", 0, "total request volume (default 60 per object)")
-		rw       = flag.Float64("rw", 0.9, "read share of the request volume, in (0,1]")
-		capacity = flag.Float64("capacity", 25, "server capacity parameter C%")
-		topo     = flag.String("topology", "random", "topology: random|waxman|powerlaw|transitstub")
-		edgeP    = flag.Float64("p", 0.4, "edge probability for the random topology")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		method   = flag.String("method", "agt-ram", "method: agt-ram|greedy|gra|ae-star|da|ea")
-		engine   = flag.String("engine", "incremental", "AGT-RAM engine: incremental|sync|distributed|network|tcp")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		all      = flag.Bool("all", false, "run all six methods and print a comparison table")
-		report   = flag.String("report", "", "write the solved placement as a JSON report to this file")
-		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+// jsonResult is the -json output shape: one object per solve.
+type jsonResult struct {
+	Method    string  `json:"method"`
+	Engine    string  `json:"engine,omitempty"`
+	Servers   int     `json:"servers"`
+	Objects   int     `json:"objects"`
+	Seed      int64   `json:"seed"`
+	OTC       int64   `json:"otc"`
+	BaseOTC   int64   `json:"base_otc"`
+	Savings   float64 `json:"savings_percent"`
+	Replicas  int     `json:"replicas"`
+	RuntimeMS float64 `json:"runtime_ms"`
+	Work      int64   `json:"work"`
+	Rounds    int     `json:"rounds,omitempty"`
+	Payments  int64   `json:"payments,omitempty"`
+	Winners   int     `json:"winning_servers,omitempty"`
+	Evictions []struct {
+		Agent  int    `json:"agent"`
+		Round  int    `json:"round"`
+		Reason string `json:"reason"`
+	} `json:"evictions,omitempty"`
+}
 
-		roundTimeout = flag.Duration("round-timeout", 0, "wire engines: per-agent bid/award deadline; agents that miss it are evicted (0 = none)")
-		faultDrop    = flag.Float64("fault-drop", 0, "wire engines: per-write probability that an agent's link severs, in [0,1]")
-		faultDelay   = flag.Duration("fault-delay", 0, "wire engines: delay injected before every agent write")
-		faultCrash   = flag.String("fault-crash", "", "wire engines: comma-separated agent:round crash schedule (e.g. 3:2,7:1)")
-		faultDial    = flag.String("fault-fail-dial", "", "wire engines: comma-separated agent ids whose dial always fails")
-		faultSeed    = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
+func toJSONResult(icfg repro.InstanceConfig, engine string, res *repro.Result) jsonResult {
+	out := jsonResult{
+		Method:    string(res.Method),
+		Servers:   icfg.Servers,
+		Objects:   icfg.Objects,
+		Seed:      icfg.Seed,
+		OTC:       res.OTC,
+		BaseOTC:   res.BaseOTC,
+		Savings:   res.SavingsPercent,
+		Replicas:  res.Replicas,
+		RuntimeMS: float64(res.Runtime.Microseconds()) / 1e3,
+		Work:      res.Work,
+	}
+	if res.Method == repro.AGTRAM {
+		out.Engine = engine
+		out.Rounds = res.Rounds
+		for _, p := range res.Payments {
+			if p > 0 {
+				out.Winners++
+				out.Payments += p
+			}
+		}
+	}
+	for _, ev := range res.Evictions {
+		out.Evictions = append(out.Evictions, struct {
+			Agent  int    `json:"agent"`
+			Round  int    `json:"round"`
+			Reason string `json:"reason"`
+		}{ev.Agent, ev.Round, ev.Reason})
+	}
+	return out
+}
+
+func main() {
+	inst := cliflags.AddInstance(flag.CommandLine)
+	eng := cliflags.AddEngine(flag.CommandLine)
+	var (
+		method  = flag.String("method", "agt-ram", "method: agt-ram|greedy|gra|ae-star|da|ea")
+		all     = flag.Bool("all", false, "run all six methods and print a comparison table")
+		report  = flag.String("report", "", "write the solved placement as a JSON report to this file")
+		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -61,31 +106,11 @@ func main() {
 	if engineSet && repro.Method(*method) != repro.AGTRAM {
 		fatal(fmt.Errorf("-engine only applies to -method agt-ram (got -method %s)", *method))
 	}
-	switch *engine {
-	case "incremental", "sync", "distributed", "network", "tcp":
-	default:
-		fatal(fmt.Errorf("unknown -engine %q (want incremental|sync|distributed|network|tcp)", *engine))
-	}
-	faults, err := parseFaults(*faultDrop, *faultDelay, *faultCrash, *faultDial, *faultSeed)
+	faults, err := eng.Validate()
 	if err != nil {
 		fatal(err)
 	}
-	if (faults != nil || *roundTimeout > 0) && *engine != "network" && *engine != "tcp" {
-		fatal(fmt.Errorf("-fault-* and -round-timeout apply to the wire engines only (-engine network|tcp)"))
-	}
-	if *requests == 0 {
-		*requests = *n * 60
-	}
-	icfg := repro.InstanceConfig{
-		Servers:         *m,
-		Objects:         *n,
-		Requests:        *requests,
-		RWRatio:         *rw,
-		CapacityPercent: *capacity,
-		Topology:        repro.TopologyKind(*topo),
-		EdgeP:           *edgeP,
-		Seed:            *seed,
-	}
+	icfg := inst.Config()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -95,43 +120,30 @@ func main() {
 	}
 
 	if *all {
-		runAll(ctx, icfg, *workers, *seed)
+		runAll(ctx, icfg, eng.Workers, icfg.Seed, *asJSON)
 		return
 	}
 
-	inst, err := repro.NewInstance(icfg)
+	in, err := repro.NewInstance(icfg)
 	if err != nil {
 		fatal(err)
 	}
 	opts := &repro.Options{
-		Workers:      *workers,
-		Seed:         *seed,
-		Sync:         *engine == "sync",
-		Distributed:  *engine == "distributed",
-		Network:      *engine == "network",
-		RoundTimeout: *roundTimeout,
+		Workers:      eng.Workers,
+		Seed:         icfg.Seed,
+		Sync:         eng.Engine == "sync",
+		Distributed:  eng.Engine == "distributed",
+		Network:      eng.Engine == "network",
+		RoundTimeout: eng.RoundTimeout,
 		Faults:       faults,
 	}
-	if *engine == "tcp" {
+	if eng.Engine == "tcp" {
 		opts.TCPAddr = "127.0.0.1:0"
 	}
-	res, err := inst.SolveContext(ctx, repro.Method(*method), opts)
+	res, err := in.SolveContext(ctx, repro.Method(*method), opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("instance: M=%d N=%d requests=%d R/W=%.2f C=%.0f%% topology=%s seed=%d\n",
-		*m, *n, *requests, *rw, *capacity, *topo, *seed)
-	fmt.Printf("method:   %s", bench.MethodLabel(res.Method))
-	if res.Method == repro.AGTRAM {
-		fmt.Printf(" (%s engine)", *engine)
-	}
-	fmt.Println()
-	fmt.Printf("base OTC: %d\n", res.BaseOTC)
-	fmt.Printf("OTC:      %d\n", res.OTC)
-	fmt.Printf("savings:  %.2f%%\n", res.SavingsPercent)
-	fmt.Printf("replicas: %d\n", res.Replicas)
-	fmt.Printf("runtime:  %s\n", res.Runtime.Round(time.Microsecond))
-	fmt.Printf("work:     %d operations\n", res.Work)
 	if *report != "" {
 		f, err := os.Create(*report)
 		if err != nil {
@@ -141,6 +153,29 @@ func main() {
 		if err := res.WriteReport(f); err != nil {
 			fatal(err)
 		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(toJSONResult(icfg, eng.Engine, res)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("instance: M=%d N=%d requests=%d R/W=%.2f C=%.0f%% topology=%s seed=%d\n",
+		icfg.Servers, icfg.Objects, icfg.Requests, icfg.RWRatio, icfg.CapacityPercent, icfg.Topology, icfg.Seed)
+	fmt.Printf("method:   %s", bench.MethodLabel(res.Method))
+	if res.Method == repro.AGTRAM {
+		fmt.Printf(" (%s engine)", eng.Engine)
+	}
+	fmt.Println()
+	fmt.Printf("base OTC: %d\n", res.BaseOTC)
+	fmt.Printf("OTC:      %d\n", res.OTC)
+	fmt.Printf("savings:  %.2f%%\n", res.SavingsPercent)
+	fmt.Printf("replicas: %d\n", res.Replicas)
+	fmt.Printf("runtime:  %s\n", res.Runtime.Round(time.Microsecond))
+	fmt.Printf("work:     %d operations\n", res.Work)
+	if *report != "" {
 		fmt.Printf("report:   %s\n", *report)
 	}
 	if res.Method == repro.AGTRAM {
@@ -164,54 +199,36 @@ func main() {
 	}
 }
 
-// parseFaults assembles a FaultConfig from the -fault-* flags, returning nil
-// when none inject anything.
-func parseFaults(drop float64, delay time.Duration, crash, dial string, seed int64) (*repro.FaultConfig, error) {
-	cfg := &repro.FaultConfig{Seed: seed, DropAll: drop, DelayAll: delay}
-	if drop < 0 || drop > 1 {
-		return nil, fmt.Errorf("-fault-drop %v outside [0,1]", drop)
-	}
-	if crash != "" {
-		cfg.CrashAtRound = map[int]int{}
-		for _, part := range strings.Split(crash, ",") {
-			var agent, round int
-			if _, err := fmt.Sscanf(part, "%d:%d", &agent, &round); err != nil || round < 1 {
-				return nil, fmt.Errorf("bad -fault-crash entry %q (want agent:round with round >= 1)", part)
-			}
-			cfg.CrashAtRound[agent] = round
-		}
-	}
-	if dial != "" {
-		cfg.FailDial = map[int]bool{}
-		for _, part := range strings.Split(dial, ",") {
-			var agent int
-			if _, err := fmt.Sscanf(part, "%d", &agent); err != nil {
-				return nil, fmt.Errorf("bad -fault-fail-dial entry %q (want an agent id)", part)
-			}
-			cfg.FailDial[agent] = true
-		}
-	}
-	if !cfg.Enabled() {
-		return nil, nil
-	}
-	return cfg, nil
-}
-
-func runAll(ctx context.Context, icfg repro.InstanceConfig, workers int, seed int64) {
+func runAll(ctx context.Context, icfg repro.InstanceConfig, workers int, seed int64, asJSON bool) {
+	var results []jsonResult
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "method\tsavings %\treplicas\truntime\twork")
+	if !asJSON {
+		fmt.Fprintln(tw, "method\tsavings %\treplicas\truntime\twork")
+	}
 	for _, m := range repro.Methods() {
-		inst, err := repro.NewInstance(icfg)
+		in, err := repro.NewInstance(icfg)
 		if err != nil {
 			fatal(err)
 		}
-		res, err := inst.SolveContext(ctx, m, &repro.Options{Workers: workers, Seed: seed})
+		res, err := in.SolveContext(ctx, m, &repro.Options{Workers: workers, Seed: seed})
 		if err != nil {
 			fatal(err)
+		}
+		if asJSON {
+			results = append(results, toJSONResult(icfg, "", res))
+			continue
 		}
 		fmt.Fprintf(tw, "%s\t%.2f\t%d\t%s\t%d\n",
 			bench.MethodLabel(m), res.SavingsPercent, res.Replicas,
 			res.Runtime.Round(time.Millisecond), res.Work)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if err := tw.Flush(); err != nil {
 		fatal(err)

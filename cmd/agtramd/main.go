@@ -1,0 +1,178 @@
+// Command agtramd runs the online replica-placement daemon: an HTTP service
+// that routes reads against the live placement, absorbs workload deltas, and
+// re-runs the configured solver when the placement drifts too far from what
+// the mechanism last achieved.
+//
+// The instance flags (-M, -N, -capacity, ...) and the engine/fault flags
+// (-engine, -round-timeout, -fault-*) are the same vocabulary cmd/agtram
+// accepts, so an offline experiment's configuration carries onto the daemon
+// unchanged.
+//
+// Endpoints:
+//
+//	GET  /route?server=i&object=k   nearest replica of k for server i (hot path)
+//	GET  /placement                 full placement report (JSON)
+//	POST /deltas                    atomic delta batch (JSON array, WCTR or CLF trace)
+//	POST /solve                     force a re-solve now
+//	GET  /metrics                   controller + HTTP metrics
+//	GET  /healthz                   liveness
+//
+// On SIGTERM/SIGINT the daemon stops accepting requests, and — when
+// -snapshot is set — persists the live placement as a JSON report that the
+// next start restores instead of solving cold.
+//
+// Example:
+//
+//	agtramd -addr :8080 -M 64 -N 400 -drift 1.5 -debounce 2s -snapshot place.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/cmd/internal/cliflags"
+	"repro/internal/online"
+	"repro/internal/replication"
+	"repro/internal/server"
+)
+
+func main() {
+	inst := cliflags.AddInstance(flag.CommandLine)
+	eng := cliflags.AddEngine(flag.CommandLine)
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		method   = flag.String("method", "agt-ram", "solver run on drift: agt-ram|greedy|gra|ae-star|da|ea")
+		drift    = flag.Float64("drift", 1.0, "drift threshold in percentage points of savings (<= 0 disables auto-solve)")
+		debounce = flag.Duration("debounce", 2*time.Second, "minimum spacing between automatic re-solves")
+		snapshot = flag.String("snapshot", "", "placement snapshot path: restored on start, written on shutdown")
+		warm     = flag.Bool("warm", false, "seed re-solves with the live placement instead of solving cold (less churn, timing-dependent placements)")
+	)
+	flag.Parse()
+
+	if !repro.KnownMethod(repro.Method(*method)) {
+		fatal(fmt.Errorf("unknown -method %q", *method))
+	}
+	faults, err := eng.Validate()
+	if err != nil {
+		fatal(err)
+	}
+	if *warm && eng.Engine != "incremental" {
+		fatal(fmt.Errorf("-warm requires -engine incremental (got %q)", eng.Engine))
+	}
+
+	in, err := repro.NewInstance(inst.Config())
+	if err != nil {
+		fatal(err)
+	}
+	p := in.Problem()
+	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{
+		Method:         *method,
+		Engine:         engineOpt(*method, eng.Engine),
+		Workers:        eng.Workers,
+		Seed:           inst.Seed,
+		RoundTimeout:   eng.RoundTimeout,
+		Faults:         faults,
+		DriftThreshold: *drift,
+		SolveDebounce:  *debounce,
+		WarmStart:      *warm,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// A snapshot written after shape-changing deltas (add-object,
+	// server-join growth) no longer fits a fresh instance built from the
+	// same flags, so an unusable snapshot falls back to a cold solve
+	// instead of refusing to start.
+	restored := false
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			rep, rerr := replication.ReadPlacement(f)
+			f.Close()
+			if rerr == nil {
+				rerr = ctrl.RestorePlacement(rep)
+			}
+			if rerr != nil {
+				logf("ignoring snapshot %s, solving cold: %v", *snapshot, rerr)
+			} else {
+				restored = true
+				logf("restored placement from %s (OTC %d, %.2f%% savings)", *snapshot, rep.OTC, rep.Savings)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fatal(err)
+		}
+	}
+	if !restored {
+		logf("initial solve (%s, M=%d N=%d)...", *method, p.M, p.N)
+		if err := ctrl.SolveNow(ctx); err != nil {
+			fatal(fmt.Errorf("initial solve: %w", err))
+		}
+		m := ctrl.Metrics()
+		logf("solved: OTC %d, %.2f%% savings, %d replicas", m.OTC, m.Savings, m.Replicas)
+	}
+	ctrl.Start(ctx)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: server.New(ctrl)}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logf("listening on %s (drift threshold %.2f, debounce %s)", *addr, *drift, *debounce)
+
+	select {
+	case <-ctx.Done():
+		logf("shutting down...")
+	case err := <-errc:
+		fatal(err)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logf("shutdown: %v", err)
+	}
+	ctrl.Close()
+
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		rep := ctrl.Placement()
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		logf("persisted placement to %s (OTC %d, %d servers, %d objects)", *snapshot, rep.OTC, rep.Servers, rep.Objects)
+	}
+}
+
+// engineOpt maps the -engine flag onto solver options: only agt-ram has
+// engines, every other method gets the empty default.
+func engineOpt(method, engine string) string {
+	if method == "agt-ram" {
+		return engine
+	}
+	return ""
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "agtramd: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "agtramd:", err)
+	os.Exit(1)
+}

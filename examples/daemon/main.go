@@ -1,0 +1,128 @@
+// Daemon walkthrough: run the online replica-placement controller behind
+// its HTTP API, stream a synthetic World Cup-style trace into it as delta
+// batches — the same bytes `tracegen gen` writes and `POST /deltas`
+// accepts — and watch the placement drift and re-solve.
+//
+// The curl equivalent against a real agtramd process is in
+// examples/daemon/README.md.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro"
+	"repro/internal/online"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	// The system: 32 servers, 200 objects, the paper's read-heavy mix.
+	inst, err := repro.NewInstance(repro.InstanceConfig{
+		Servers: 32, Objects: 200, Requests: 12000,
+		RWRatio: 0.90, CapacityPercent: 20, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := inst.Problem()
+
+	// The controller re-solves when the live placement's savings fall more
+	// than half a percentage point behind what the mechanism last achieved.
+	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{
+		DriftThreshold: 0.5,
+		SolveDebounce:  50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctrl.Start(ctx)
+	defer ctrl.Close()
+	if err := ctrl.SolveNow(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	ts := httptest.NewServer(server.New(ctrl))
+	defer ts.Close()
+	fmt.Printf("daemon up at %s\n", ts.URL)
+	printMetrics(ts.URL, "after initial solve")
+
+	// A day of traffic, generated exactly as `tracegen gen -objects 200
+	// -clients 100 -events 20000` would, split into four six-hour batches.
+	l, err := repro.GenerateTrace(repro.TraceConfig{
+		Objects: 200, Clients: 100, Events: 20000, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	per := (len(l.Events) + 3) / 4
+	for b := 0; b*per < len(l.Events); b++ {
+		end := (b + 1) * per
+		if end > len(l.Events) {
+			end = len(l.Events)
+		}
+		chunk := &trace.Log{
+			Objects: l.Objects, Clients: l.Clients,
+			ObjectSizes: l.ObjectSizes, Events: l.Events[b*per : end],
+		}
+		var buf bytes.Buffer
+		if err := chunk.WriteBinary(&buf); err != nil {
+			log.Fatal(err)
+		}
+		// The same WCTR bytes a `tracegen gen` file holds: POST them raw.
+		resp, err := http.Post(ts.URL+"/deltas?format=trace", "application/octet-stream", &buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var applied online.Applied
+		if err := json.NewDecoder(resp.Body).Decode(&applied); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("batch %d: %d deltas applied, drift %.2f pp, re-solve scheduled: %v\n",
+			b+1, applied.Applied, applied.Drift, applied.SolveScheduled)
+	}
+
+	// Let the debounced background solver catch up, then route a few reads.
+	time.Sleep(300 * time.Millisecond)
+	printMetrics(ts.URL, "after the trace")
+	for _, q := range []string{"server=3&object=17", "server=20&object=17", "server=9&object=150"} {
+		body := get(ts.URL + "/route?" + q)
+		fmt.Printf("route %-25s -> %s", q, body)
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(b)
+}
+
+func printMetrics(base, label string) {
+	var m struct {
+		Controller online.Metrics `json:"controller"`
+	}
+	if err := json.Unmarshal([]byte(get(base+"/metrics")), &m); err != nil {
+		log.Fatal(err)
+	}
+	c := m.Controller
+	fmt.Printf("%s: version %d, OTC %d, savings %.2f%%, %d replicas, %d solves\n",
+		label, c.Version, c.OTC, c.Savings, c.Replicas, c.SolvesRun)
+}

@@ -88,6 +88,40 @@ func newAgentState(p *replication.Problem, i int) *agentState {
 	return a
 }
 
+// newAgentStateFrom builds agent i's candidate list priced against an
+// existing placement instead of the primary-only start: nearest-neighbor
+// costs come from the base schema's NN tables, residual capacity from its
+// accounting, and objects the agent already replicates are excluded. With a
+// primary-only base it is equivalent to newAgentState. It reads the schema
+// but never mutates it.
+func newAgentStateFrom(s *replication.Schema, i int) *agentState {
+	p := s.Problem()
+	w := p.Work
+	a := &agentState{id: i, residual: s.Residual(i)}
+	for _, d := range w.PerServer[i] {
+		if d.Reads == 0 {
+			continue // a write-only object can never benefit from a local copy
+		}
+		k := d.Object
+		if s.HasReplica(k, i) {
+			continue // a copy (primary or carried replica) is already local
+		}
+		pk := int(w.Primary[k])
+		c := candidate{
+			object:  k,
+			size:    w.ObjectSize[k],
+			reads:   d.Reads,
+			nnCost:  p.Cost.At(i, int(s.NN(i, k))),
+			updCost: (w.TotalWrites[k] - d.Writes) * w.ObjectSize[k] * int64(p.Cost.At(pk, i)),
+		}
+		if c.benefit() > 0 && c.size <= a.residual {
+			a.cands = append(a.cands, c)
+		}
+	}
+	// PerServer demand is sorted by object, so cands already is.
+	return a
+}
+
 // observe processes the broadcast "object k was replicated on server m":
 // the agent refreshes its nearest-neighbor cost for k if the new replica is
 // closer. cost is c(id, m), computed by the agent from public knowledge.

@@ -47,16 +47,50 @@ func SolveIncremental(ctx context.Context, p *replication.Problem, cfg Config) (
 	if cfg.Valuation == ExactDelta {
 		return nil, fmt.Errorf("agtram: exact-delta valuation re-prices against global state every round; use Solve")
 	}
-	schema := p.NewSchema()
+	return solveIncrementalOn(ctx, p.NewSchema(), false, cfg)
+}
+
+// SolveIncrementalFrom is the warm re-solve entry point: it continues the
+// mechanism from an existing placement instead of the primary-only start.
+// Agents price their candidates against base's NN tables and residual
+// capacities and the auction then only adds replicas that are still
+// beneficial — the online controller's low-churn alternative to solving the
+// drifted problem from scratch. base is cloned; neither it nor its problem
+// is mutated. Exactness is unchanged: benefits are non-increasing from any
+// start state, so the lazy-heap argument of SolveIncremental holds verbatim.
+//
+// With a primary-only base the result is bit-identical to SolveIncremental.
+func SolveIncrementalFrom(ctx context.Context, base *replication.Schema, cfg Config) (*Result, error) {
+	if base == nil {
+		return nil, fmt.Errorf("agtram: nil base schema")
+	}
+	if cfg.Valuation == ExactDelta {
+		return nil, fmt.Errorf("agtram: exact-delta valuation re-prices against global state every round; use Solve")
+	}
+	return solveIncrementalOn(ctx, base.Clone(), base.Placed() > 0, cfg)
+}
+
+// solveIncrementalOn owns schema and runs the event-driven mechanism on it.
+// warm selects schema-aware agent construction; the cold path keeps the
+// cheaper direct form (no NN lookups through the schema).
+func solveIncrementalOn(ctx context.Context, schema *replication.Schema, warm bool, cfg Config) (*Result, error) {
+	p := schema.Problem()
 	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
 
 	// Agent construction is independent per agent; fan it out. Slots are
 	// disjoint, so no synchronization beyond the batch barrier is needed.
+	// Warm construction only reads the shared schema, never writes it.
 	built := make([]*heapAgent, p.M)
 	workers := pool.New(cfg.workers())
 	workers.Batch(p.M, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			if a := newHeapAgent(p, i); a.Len() > 0 {
+			var a *heapAgent
+			if warm {
+				a = newHeapAgentOn(newAgentStateFrom(schema, i))
+			} else {
+				a = newHeapAgent(p, i)
+			}
+			if a.Len() > 0 {
 				built[i] = a
 			}
 		}
@@ -150,9 +184,16 @@ type heapAgent struct {
 // exact: newAgentState prices every candidate against the primary-only
 // placement, which is the state of round one.
 func newHeapAgent(p *replication.Problem, i int) *heapAgent {
-	base := newAgentState(p, i)
+	return newHeapAgentOn(newAgentState(p, i))
+}
+
+// newHeapAgentOn lifts an already-priced agent state into heap form. Keys
+// start exact because the state was priced against the solve's start
+// placement, which is the state of round one (primary-only for the cold
+// path, the carried placement for warm re-solves).
+func newHeapAgentOn(base *agentState) *heapAgent {
 	a := &heapAgent{
-		id:       i,
+		id:       base.id,
 		residual: base.residual,
 		h:        make([]hcand, len(base.cands)),
 		pos:      make(map[int32]int, len(base.cands)),

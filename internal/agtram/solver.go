@@ -82,13 +82,21 @@ func (agtSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.
 			})
 		}
 	}
+	if opts.Warm != nil && engine != EngineIncremental {
+		return nil, fmt.Errorf("agtram: warm re-solve is served by the incremental engine only, not %q", engine)
+	}
 	var (
 		res *Result
 		err error
 	)
 	switch engine {
 	case EngineIncremental:
-		res, err = SolveIncremental(ctx, p, cfg)
+		if opts.Warm != nil {
+			base, _ := p.CarryOver(opts.Warm)
+			res, err = SolveIncrementalFrom(ctx, base, cfg)
+		} else {
+			res, err = SolveIncremental(ctx, p, cfg)
+		}
 	case EngineSync:
 		res, err = Solve(ctx, p, cfg)
 	case EngineDistributed:

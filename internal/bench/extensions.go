@@ -85,28 +85,20 @@ func Regions(ctx context.Context, cfg Config) (*Table, error) {
 		Unit:     "savings % / decisions",
 		Columns:  []string{"hier savings", "auto savings", "fail savings", "top decisions", "auto epochs"},
 	}
+	base, err := buildProblem(cfg, m, n, 0.90, 15)
+	if err != nil {
+		return nil, err
+	}
 	for _, regions := range []int{1, 2, 4, 8, 16} {
-		ph, err := cloneProblem(cfg, m, n)
+		hier, err := hierarchy.Solve(ctx, base.Snapshot(), hierarchy.Config{Regions: regions})
 		if err != nil {
 			return nil, err
 		}
-		hier, err := hierarchy.Solve(ctx, ph, hierarchy.Config{Regions: regions})
+		auto, err := hierarchy.Solve(ctx, base.Snapshot(), hierarchy.Config{Regions: regions, Mode: hierarchy.Autonomous})
 		if err != nil {
 			return nil, err
 		}
-		pa, err := cloneProblem(cfg, m, n)
-		if err != nil {
-			return nil, err
-		}
-		auto, err := hierarchy.Solve(ctx, pa, hierarchy.Config{Regions: regions, Mode: hierarchy.Autonomous})
-		if err != nil {
-			return nil, err
-		}
-		pf, err := cloneProblem(cfg, m, n)
-		if err != nil {
-			return nil, err
-		}
-		fail, err := hierarchy.Solve(ctx, pf, hierarchy.Config{Regions: regions, TopFailsAfter: hier.Epochs / 2})
+		fail, err := hierarchy.Solve(ctx, base.Snapshot(), hierarchy.Config{Regions: regions, TopFailsAfter: hier.Epochs / 2})
 		if err != nil {
 			return nil, err
 		}
@@ -177,9 +169,9 @@ func Adaptive(ctx context.Context, cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// buildProblem and cloneProblem construct identical replication problems
-// for the extension experiments (the facade cannot hand out two instances
-// backed by one problem).
+// buildProblem constructs one replication problem for the extension
+// experiments; callers that need independent copies take
+// replication.Problem.Snapshot of the result.
 func buildProblem(cfg Config, m, n int, rw, capacity float64) (*replication.Problem, error) {
 	w, err := workload.Synthetic(workload.SyntheticConfig{
 		Servers: m, Objects: n, Requests: requestsFor(n), RWRatio: rw, Seed: cfg.Seed,
@@ -197,10 +189,6 @@ func buildProblem(cfg Config, m, n int, rw, capacity float64) (*replication.Prob
 		return nil, err
 	}
 	return replication.NewProblem(topology.AllPairs(g, 0), w, caps)
-}
-
-func cloneProblem(cfg Config, m, n int) (*replication.Problem, error) {
-	return buildProblem(cfg, m, n, 0.90, 15)
 }
 
 // OptimalityGap measures, on tiny instances solvable to proven optimality,

@@ -1,0 +1,391 @@
+// Package online is the dynamic replica-placement controller behind the
+// agtramd daemon. It owns a mutable workload (the delta-mutated state), the
+// immutable DRP instance materialized from it, and the current placement —
+// published together as an RCU-style View behind an atomic pointer, so the
+// routing hot path never takes a lock.
+//
+// Life of a delta batch: the batch is validated and applied on a clone of
+// the state (all-or-nothing), a fresh Problem is materialized, the live
+// placement is carried over onto it (infeasible replicas dropped — PR 3's
+// eviction semantics), and the new View is swapped in. The controller then
+// measures drift — how far the carried placement's savings fell below the
+// savings achieved at the last solve — and, past the configured threshold,
+// schedules a debounced re-solve through the solver registry. Solves run on
+// a Snapshot of the instance, so deltas and routes proceed concurrently;
+// when a solve finishes, its placement is swapped in (or carried over once
+// more if deltas landed mid-solve).
+package online
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/replication"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Method is the solver registry name; empty means "agt-ram".
+	Method string
+	// Engine, Workers, Seed, RoundTimeout and Faults pass through to
+	// solver.Options on every re-solve.
+	Engine       string
+	Workers      int
+	Seed         int64
+	RoundTimeout time.Duration
+	Faults       *faultnet.Config
+	// DriftThreshold is the drift (percentage points of savings, see
+	// Metrics.Drift) past which a background re-solve is scheduled.
+	// Zero or negative disables automatic solves; SolveNow still works.
+	DriftThreshold float64
+	// SolveDebounce is the minimum spacing between automatic solves, so a
+	// delta storm coalesces into one re-solve instead of one per batch.
+	SolveDebounce time.Duration
+	// WarmStart seeds re-solves with the live placement instead of solving
+	// cold. Cold solves are deterministic in the materialized problem alone;
+	// warm solves additionally depend on solve timing (which placement was
+	// live), trading reproducibility for less placement churn.
+	WarmStart bool
+}
+
+// View is one immutable (instance, placement) pair. Readers load it with a
+// single atomic pointer read; writers build a fresh View and swap it in —
+// nothing reachable from a published View is ever mutated.
+type View struct {
+	Problem *replication.Problem
+	Schema  *replication.Schema
+	// Version increments on every swap (delta batch, solve, restore).
+	Version uint64
+}
+
+// Applied reports what a delta batch did.
+type Applied struct {
+	// Applied is the number of deltas in the batch (batches are atomic:
+	// all applied, or none on error).
+	Applied int `json:"applied"`
+	// Dropped counts live replicas that became infeasible under the new
+	// instance and were evicted during carry-over.
+	Dropped int `json:"dropped"`
+	// Drift is the controller's drift after the batch (see Metrics.Drift).
+	Drift float64 `json:"drift"`
+	// Version is the published View's version.
+	Version uint64 `json:"version"`
+	// SolveScheduled reports whether this batch pushed drift past the
+	// threshold and kicked the background solver.
+	SolveScheduled bool `json:"solve_scheduled"`
+}
+
+// Metrics is a point-in-time controller snapshot.
+type Metrics struct {
+	Version       uint64  `json:"version"`
+	Servers       int     `json:"servers"`
+	ActiveServers int     `json:"active_servers"`
+	Objects       int     `json:"objects"`
+	Retired       int     `json:"retired_objects"`
+	OTC           int64   `json:"otc"`
+	BaseOTC       int64   `json:"base_otc"`
+	Savings       float64 `json:"savings_percent"`
+	// SolvedSavings is the savings achieved by the last solve (on its
+	// problem); Drift is SolvedSavings minus the live placement's current
+	// savings, clamped at zero — the cheap re-priced bound on how much the
+	// placement decayed since the solver last ran.
+	SolvedSavings  float64 `json:"solved_savings_percent"`
+	Drift          float64 `json:"drift"`
+	DriftThreshold float64 `json:"drift_threshold"`
+	Replicas       int     `json:"replicas"`
+	SolvesRun      int64   `json:"solves_run"`
+	DeltasApplied  int64   `json:"deltas_applied"`
+	CarriedDrops   int64   `json:"carried_drops"`
+	Evictions      int64   `json:"evictions"`
+	LastSolveError string  `json:"last_solve_error,omitempty"`
+}
+
+// Controller owns the mutable workload state and the published View.
+type Controller struct {
+	cfg  Config
+	view atomic.Pointer[View]
+
+	// mu guards the mutable state and the bookkeeping below. The routing
+	// path never takes it; delta batches, solve publication and metrics do.
+	mu            sync.Mutex
+	st            *state
+	solvedSavings float64
+	drift         float64
+	lastSolveAt   time.Time
+	solvesRun     int64
+	deltasApplied int64
+	carriedDrops  int64
+	evictions     int64
+	lastSolveErr  string
+
+	// solveMu serializes solver runs without blocking deltas or routes.
+	solveMu sync.Mutex
+
+	kick   chan struct{}
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a controller over an initial workload and capacities. The
+// initial placement is primary-only; call SolveNow (or RestorePlacement)
+// to install a better one.
+func New(cost replication.CostFn, w *workload.Workload, capacity []int64, cfg Config) (*Controller, error) {
+	if cfg.Method == "" {
+		cfg.Method = "agt-ram"
+	}
+	if _, ok := solver.Lookup(cfg.Method); !ok {
+		return nil, fmt.Errorf("online: unknown method %q (have %v)", cfg.Method, solver.Names())
+	}
+	st, err := newState(cost, w, capacity)
+	if err != nil {
+		return nil, err
+	}
+	p, err := st.materialize()
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, st: st, kick: make(chan struct{}, 1)}
+	c.view.Store(&View{Problem: p, Schema: p.NewSchema(), Version: 1})
+	return c, nil
+}
+
+// Start launches the background solve loop. Without Start, drift-triggered
+// solves queue a kick that is consumed on the next Start; SolveNow remains
+// available either way. Close stops the loop.
+func (c *Controller) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	c.cancel = cancel
+	c.wg.Add(1)
+	go c.loop(ctx)
+}
+
+// Close stops the background loop and waits for it to exit. The controller
+// keeps serving routes and deltas after Close; only automatic solves stop.
+func (c *Controller) Close() {
+	if c.cancel != nil {
+		c.cancel()
+	}
+	c.wg.Wait()
+}
+
+func (c *Controller) loop(ctx context.Context) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.kick:
+		}
+		c.mu.Lock()
+		wait := c.cfg.SolveDebounce - time.Since(c.lastSolveAt)
+		c.mu.Unlock()
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if err := c.SolveNow(ctx); err != nil && ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// kickSolve schedules a background solve; a kick already pending is enough.
+func (c *Controller) kickSolve() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Current returns the live View. The placement reachable from it is
+// immutable; callers may read it without synchronization.
+func (c *Controller) Current() *View { return c.view.Load() }
+
+// Route answers "which server does server i read object k from" against the
+// live placement. It is lock-free and never blocks on deltas or solves.
+func (c *Controller) Route(server int, object int32) (int32, error) {
+	v := c.view.Load()
+	if server < 0 || server >= v.Problem.M {
+		return 0, fmt.Errorf("online: server %d outside [0,%d)", server, v.Problem.M)
+	}
+	if object < 0 || int(object) >= v.Problem.N {
+		return 0, fmt.Errorf("online: object %d outside [0,%d)", object, v.Problem.N)
+	}
+	return v.Schema.NN(server, object), nil
+}
+
+// Placement reports the live placement.
+func (c *Controller) Placement() replication.PlacementReport {
+	return c.view.Load().Schema.Report()
+}
+
+// ApplyDeltas applies a batch atomically: every delta validates and applies
+// on a clone of the state, or the whole batch is rejected and the live state
+// is untouched. On success the new instance is materialized, the live
+// placement carried over, and the View swapped.
+func (c *Controller) ApplyDeltas(ds []Delta) (Applied, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	next := c.st.clone()
+	var leaves int64
+	for i, d := range ds {
+		if err := next.apply(d); err != nil {
+			return Applied{}, fmt.Errorf("delta %d: %w", i, err)
+		}
+		if d.Kind == KindServerLeave {
+			leaves++
+		}
+	}
+	p, err := next.materialize()
+	if err != nil {
+		return Applied{}, err
+	}
+	cur := c.view.Load()
+	carried, dropped := p.CarryOver(cur.Schema.Matrix())
+	c.st = next
+	v := &View{Problem: p, Schema: carried, Version: cur.Version + 1}
+	c.view.Store(v)
+
+	c.deltasApplied += int64(len(ds))
+	c.carriedDrops += int64(dropped)
+	c.evictions += leaves
+	c.drift = clampDrift(c.solvedSavings - carried.Savings())
+	scheduled := c.cfg.DriftThreshold > 0 && c.drift > c.cfg.DriftThreshold
+	if scheduled {
+		c.kickSolve()
+	}
+	return Applied{
+		Applied: len(ds), Dropped: dropped, Drift: c.drift,
+		Version: v.Version, SolveScheduled: scheduled,
+	}, nil
+}
+
+// SolveNow runs one solve through the registry on a snapshot of the live
+// instance and publishes the result. Deltas and routes proceed during the
+// solve; if a delta batch swaps the View mid-solve, the solved placement is
+// carried over onto the newer instance instead of clobbering it.
+func (c *Controller) SolveNow(ctx context.Context) error {
+	c.solveMu.Lock()
+	defer c.solveMu.Unlock()
+
+	base := c.view.Load()
+	snap := base.Problem.Snapshot()
+	opts := solver.Options{
+		Workers:      c.cfg.Workers,
+		Seed:         c.cfg.Seed,
+		Engine:       c.cfg.Engine,
+		RoundTimeout: c.cfg.RoundTimeout,
+		Faults:       c.cfg.Faults,
+	}
+	if c.cfg.WarmStart {
+		opts.Warm = base.Schema.Matrix()
+	}
+	s, _ := solver.Lookup(c.cfg.Method)
+	out, err := s.Solve(ctx, snap, opts)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastSolveAt = time.Now()
+	if err != nil {
+		c.lastSolveErr = err.Error()
+		return err
+	}
+	c.lastSolveErr = ""
+	c.solvesRun++
+	c.solvedSavings = out.Schema.Savings()
+	c.evictions += int64(len(out.Evictions))
+
+	cur := c.view.Load()
+	if cur.Version == base.Version {
+		// No deltas landed mid-solve: install the solved placement. The
+		// snapshot becomes the served instance; it is value-identical to
+		// cur.Problem by construction.
+		c.view.Store(&View{Problem: snap, Schema: out.Schema, Version: cur.Version + 1})
+		c.drift = 0
+		return nil
+	}
+	// Deltas landed while we solved: carry the solved placement onto the
+	// newest instance and re-measure drift against it.
+	carried, dropped := cur.Problem.CarryOver(out.Schema.Matrix())
+	c.carriedDrops += int64(dropped)
+	c.view.Store(&View{Problem: cur.Problem, Schema: carried, Version: cur.Version + 1})
+	c.drift = clampDrift(c.solvedSavings - carried.Savings())
+	if c.cfg.DriftThreshold > 0 && c.drift > c.cfg.DriftThreshold {
+		c.kickSolve()
+	}
+	return nil
+}
+
+// RestorePlacement installs a previously persisted placement (a snapshot
+// written by the daemon on shutdown) onto the live instance. The report
+// must match the instance shape and primaries; see replication.Restore.
+func (c *Controller) RestorePlacement(rep replication.PlacementReport) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.view.Load()
+	s, err := cur.Problem.Restore(rep)
+	if err != nil {
+		return err
+	}
+	c.view.Store(&View{Problem: cur.Problem, Schema: s, Version: cur.Version + 1})
+	c.solvedSavings = s.Savings()
+	c.drift = 0
+	return nil
+}
+
+// Snapshot of the controller's counters and the live placement's economics.
+func (c *Controller) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.view.Load()
+	active := 0
+	for _, a := range c.st.active {
+		if a {
+			active++
+		}
+	}
+	retired := 0
+	for _, r := range c.st.retired {
+		if r {
+			retired++
+		}
+	}
+	return Metrics{
+		Version:        v.Version,
+		Servers:        v.Problem.M,
+		ActiveServers:  active,
+		Objects:        v.Problem.N,
+		Retired:        retired,
+		OTC:            v.Schema.TotalCost(),
+		BaseOTC:        v.Schema.BaseCost(),
+		Savings:        v.Schema.Savings(),
+		SolvedSavings:  c.solvedSavings,
+		Drift:          c.drift,
+		DriftThreshold: c.cfg.DriftThreshold,
+		Replicas:       v.Schema.Placed(),
+		SolvesRun:      c.solvesRun,
+		DeltasApplied:  c.deltasApplied,
+		CarriedDrops:   c.carriedDrops,
+		Evictions:      c.evictions,
+		LastSolveError: c.lastSolveErr,
+	}
+}
+
+func clampDrift(d float64) float64 {
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,332 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/replication"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Kind discriminates workload deltas. The taxonomy covers everything that
+// drifts in a running system: demand frequencies, the object catalogue, and
+// the server population.
+type Kind string
+
+// The five delta kinds.
+const (
+	// KindDemand adjusts one (server, object) cell's read/write frequencies
+	// by a signed amount; the result is clamped at zero.
+	KindDemand Kind = "demand"
+	// KindAddObject appends a new object to the catalogue (size, primary);
+	// it starts with no demand and no replicas beyond the primary copy.
+	KindAddObject Kind = "add-object"
+	// KindRemoveObject retires an object: all demand for it is dropped and
+	// surplus replicas dissolve at the next re-pricing. The primary copy
+	// stays — Section 2's "cannot be de-allocated" — and the id is never
+	// reused.
+	KindRemoveObject Kind = "remove-object"
+	// KindServerJoin activates a server with the given capacity. The server
+	// id must be the next unused id (growing the system, if the cost oracle
+	// covers it) or a previously departed one rejoining.
+	KindServerJoin Kind = "server-join"
+	// KindServerLeave removes a server from the system, PR 3's eviction
+	// semantics applied to the controller: its demand is dropped, its
+	// capacity collapses to its primary load (primaries are never lost), and
+	// its surplus replicas dissolve at the next re-pricing.
+	KindServerLeave Kind = "server-leave"
+)
+
+// Delta is one workload mutation. Which fields apply depends on Kind; the
+// zero values of inapplicable fields are ignored.
+type Delta struct {
+	Kind   Kind  `json:"kind"`
+	Server int   `json:"server,omitempty"`
+	Object int32 `json:"object,omitempty"`
+	// Reads and Writes are signed frequency adjustments (KindDemand).
+	Reads  int64 `json:"reads,omitempty"`
+	Writes int64 `json:"writes,omitempty"`
+	// Size and Primary describe a new object (KindAddObject).
+	Size    int64 `json:"size,omitempty"`
+	Primary int   `json:"primary,omitempty"`
+	// Capacity is the joining server's storage (KindServerJoin).
+	Capacity int64 `json:"capacity,omitempty"`
+}
+
+// state is the controller's mutable materialization source: the demand
+// matrices, catalogue and server population that deltas mutate. A state is
+// only ever touched under the controller's mutex; materialize derives the
+// immutable Problem the read path serves from.
+type state struct {
+	cost     replication.CostFn
+	capacity []int64 // declared capacity per server, len M
+	active   []bool  // server participates, len M
+	sizes    []int64 // o_k, len N (retired objects keep their size)
+	primary  []int32 // P_k, len N
+	retired  []bool  // object retired, len N
+	demand   []map[int32]*demandCell
+}
+
+type demandCell struct{ reads, writes int64 }
+
+// newState seeds the mutable state from an initial workload and capacities.
+func newState(cost replication.CostFn, w *workload.Workload, capacity []int64) (*state, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if cost.N() < w.M {
+		return nil, fmt.Errorf("online: cost oracle covers %d servers, workload needs %d", cost.N(), w.M)
+	}
+	if len(capacity) != w.M {
+		return nil, fmt.Errorf("online: capacity has %d entries, want %d", len(capacity), w.M)
+	}
+	st := &state{
+		cost:     cost,
+		capacity: append([]int64(nil), capacity...),
+		active:   make([]bool, w.M),
+		sizes:    append([]int64(nil), w.ObjectSize...),
+		primary:  append([]int32(nil), w.Primary...),
+		retired:  make([]bool, w.N),
+		demand:   make([]map[int32]*demandCell, w.M),
+	}
+	for i := range st.active {
+		st.active[i] = true
+	}
+	for i, ds := range w.PerServer {
+		st.demand[i] = make(map[int32]*demandCell, len(ds))
+		for _, d := range ds {
+			st.demand[i][d.Object] = &demandCell{reads: d.Reads, writes: d.Writes}
+		}
+	}
+	return st, nil
+}
+
+func (st *state) servers() int { return len(st.capacity) }
+func (st *state) objects() int { return len(st.sizes) }
+
+// clone deep-copies the state so a delta batch can be validated and applied
+// atomically: any error discards the clone and the live state is untouched.
+func (st *state) clone() *state {
+	c := &state{
+		cost:     st.cost,
+		capacity: append([]int64(nil), st.capacity...),
+		active:   append([]bool(nil), st.active...),
+		sizes:    append([]int64(nil), st.sizes...),
+		primary:  append([]int32(nil), st.primary...),
+		retired:  append([]bool(nil), st.retired...),
+		demand:   make([]map[int32]*demandCell, len(st.demand)),
+	}
+	for i, cells := range st.demand {
+		c.demand[i] = make(map[int32]*demandCell, len(cells))
+		for k, cell := range cells {
+			cp := *cell
+			c.demand[i][k] = &cp
+		}
+	}
+	return c
+}
+
+// primaryLoad is Σ_{k: P_k = i} o_k for server i (retired objects included:
+// their primary copy still occupies storage).
+func (st *state) primaryLoad(i int) int64 {
+	var load int64
+	for k, p := range st.primary {
+		if int(p) == i {
+			load += st.sizes[k]
+		}
+	}
+	return load
+}
+
+// apply mutates the state with one delta, validating it first.
+func (st *state) apply(d Delta) error {
+	switch d.Kind {
+	case KindDemand:
+		if d.Server < 0 || d.Server >= st.servers() {
+			return fmt.Errorf("online: demand delta for server %d outside [0,%d)", d.Server, st.servers())
+		}
+		if !st.active[d.Server] {
+			return fmt.Errorf("online: demand delta for departed server %d", d.Server)
+		}
+		if d.Object < 0 || int(d.Object) >= st.objects() {
+			return fmt.Errorf("online: demand delta for object %d outside [0,%d)", d.Object, st.objects())
+		}
+		if st.retired[d.Object] {
+			return fmt.Errorf("online: demand delta for retired object %d", d.Object)
+		}
+		cell := st.demand[d.Server][d.Object]
+		if cell == nil {
+			cell = &demandCell{}
+			st.demand[d.Server][d.Object] = cell
+		}
+		cell.reads += d.Reads
+		cell.writes += d.Writes
+		if cell.reads < 0 {
+			cell.reads = 0
+		}
+		if cell.writes < 0 {
+			cell.writes = 0
+		}
+		if cell.reads == 0 && cell.writes == 0 {
+			delete(st.demand[d.Server], d.Object)
+		}
+		return nil
+
+	case KindAddObject:
+		if d.Size < 1 {
+			return fmt.Errorf("online: add-object needs size >= 1, got %d", d.Size)
+		}
+		if d.Primary < 0 || d.Primary >= st.servers() || !st.active[d.Primary] {
+			return fmt.Errorf("online: add-object primary %d is not an active server", d.Primary)
+		}
+		st.sizes = append(st.sizes, d.Size)
+		st.primary = append(st.primary, int32(d.Primary))
+		st.retired = append(st.retired, false)
+		return nil
+
+	case KindRemoveObject:
+		if d.Object < 0 || int(d.Object) >= st.objects() {
+			return fmt.Errorf("online: remove-object %d outside [0,%d)", d.Object, st.objects())
+		}
+		if st.retired[d.Object] {
+			return fmt.Errorf("online: object %d already retired", d.Object)
+		}
+		st.retired[d.Object] = true
+		for i := range st.demand {
+			delete(st.demand[i], d.Object)
+		}
+		return nil
+
+	case KindServerJoin:
+		if d.Capacity < 0 {
+			return fmt.Errorf("online: server-join needs capacity >= 0, got %d", d.Capacity)
+		}
+		switch {
+		case d.Server >= 0 && d.Server < st.servers():
+			if st.active[d.Server] {
+				return fmt.Errorf("online: server %d is already active", d.Server)
+			}
+			st.active[d.Server] = true
+			st.capacity[d.Server] = d.Capacity
+		case d.Server == st.servers():
+			if st.cost.N() <= d.Server {
+				return fmt.Errorf("online: cost oracle covers %d servers, cannot grow to %d", st.cost.N(), d.Server+1)
+			}
+			st.capacity = append(st.capacity, d.Capacity)
+			st.active = append(st.active, true)
+			st.demand = append(st.demand, map[int32]*demandCell{})
+		default:
+			return fmt.Errorf("online: server-join id %d is neither an existing server nor the next id %d", d.Server, st.servers())
+		}
+		return nil
+
+	case KindServerLeave:
+		if d.Server < 0 || d.Server >= st.servers() {
+			return fmt.Errorf("online: server-leave %d outside [0,%d)", d.Server, st.servers())
+		}
+		if !st.active[d.Server] {
+			return fmt.Errorf("online: server %d already departed", d.Server)
+		}
+		st.active[d.Server] = false
+		st.demand[d.Server] = map[int32]*demandCell{}
+		return nil
+
+	default:
+		return fmt.Errorf("online: unknown delta kind %q", d.Kind)
+	}
+}
+
+// materialize derives the immutable DRP instance of the current state.
+// Departed servers contribute no demand and get exactly their primary load
+// as capacity (they keep primaries, attract no new replicas); active
+// servers' capacities are clamped up to their primary load so the instance
+// stays feasible when objects were added onto a tight server.
+func (st *state) materialize() (*replication.Problem, error) {
+	m, n := st.servers(), st.objects()
+	w := workload.New(m, n)
+	w.ObjectSize = append([]int64(nil), st.sizes...)
+	w.Primary = append([]int32(nil), st.primary...)
+	for i, cells := range st.demand {
+		if !st.active[i] {
+			continue
+		}
+		for k, cell := range cells {
+			w.PerServer[i] = append(w.PerServer[i], workload.Demand{
+				Object: k, Reads: cell.reads, Writes: cell.writes,
+			})
+		}
+	}
+	w.Finalize()
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("online: materialized workload invalid: %w", err)
+	}
+	caps := make([]int64, m)
+	for i := range caps {
+		pl := st.primaryLoad(i)
+		if !st.active[i] {
+			caps[i] = pl
+			continue
+		}
+		caps[i] = st.capacity[i]
+		if caps[i] < pl {
+			caps[i] = pl
+		}
+	}
+	return replication.NewProblem(st.cost, w, caps)
+}
+
+// DeltasFromEvents aggregates trace events into demand deltas: one delta
+// per touched (server, object) cell, reads and writes counted. cm maps
+// trace clients onto servers; a nil map sends client c to server c mod
+// servers — the daemon's convention for raw trace streams. The result is
+// sorted (server, then object) so delta application is deterministic.
+func DeltasFromEvents(events []trace.Event, cm workload.ClientMap, servers int) ([]Delta, error) {
+	if servers <= 0 {
+		return nil, fmt.Errorf("online: DeltasFromEvents needs servers > 0, got %d", servers)
+	}
+	type key struct {
+		server int
+		object int32
+	}
+	acc := make(map[key]*demandCell)
+	for _, e := range events {
+		var srv int
+		if cm == nil {
+			srv = int(e.Client) % servers
+			if srv < 0 {
+				srv += servers
+			}
+		} else {
+			if int(e.Client) >= len(cm) || e.Client < 0 {
+				return nil, fmt.Errorf("online: client map covers %d clients, event references %d", len(cm), e.Client)
+			}
+			srv = int(cm[e.Client])
+		}
+		kk := key{server: srv, object: e.Object}
+		cell := acc[kk]
+		if cell == nil {
+			cell = &demandCell{}
+			acc[kk] = cell
+		}
+		if e.Write {
+			cell.writes++
+		} else {
+			cell.reads++
+		}
+	}
+	out := make([]Delta, 0, len(acc))
+	for kk, cell := range acc {
+		out = append(out, Delta{
+			Kind: KindDemand, Server: kk.server, Object: kk.object,
+			Reads: cell.reads, Writes: cell.writes,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Server != out[b].Server {
+			return out[a].Server < out[b].Server
+		}
+		return out[a].Object < out[b].Object
+	})
+	return out, nil
+}

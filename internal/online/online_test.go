@@ -1,0 +1,352 @@
+package online
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	_ "repro/internal/agtram" // register the agt-ram solver
+	"repro/internal/replication"
+	"repro/internal/solver"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// demandDiff computes the per-(server,object) demand deltas that turn a
+// into b. Both workloads must share shape, catalogue and primaries.
+func demandDiff(a, b *workload.Workload) []Delta {
+	type cell struct{ reads, writes int64 }
+	var out []Delta
+	for i := 0; i < a.M; i++ {
+		have := map[int32]cell{}
+		for _, d := range a.PerServer[i] {
+			have[d.Object] = cell{d.Reads, d.Writes}
+		}
+		want := map[int32]cell{}
+		for _, d := range b.PerServer[i] {
+			want[d.Object] = cell{d.Reads, d.Writes}
+		}
+		for k := int32(0); int(k) < a.N; k++ {
+			h, w := have[k], want[k]
+			if h == w {
+				continue
+			}
+			out = append(out, Delta{
+				Kind: KindDemand, Server: i, Object: k,
+				Reads: w.reads - h.reads, Writes: w.writes - h.writes,
+			})
+		}
+	}
+	return out
+}
+
+// TestDifferentialDeltasVsMaterialized is the delta-semantics property test:
+// feeding the controller the demand diff and re-solving must land on exactly
+// the placement a direct solve of the materialized final problem produces.
+// Cold solves are deterministic in the instance, so equality is exact.
+func TestDifferentialDeltasVsMaterialized(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		cfg := testutil.Small(seed)
+		p1 := testutil.MustBuild(cfg)
+		w2, err := workload.Synthetic(workload.SyntheticConfig{
+			Servers: cfg.Servers, Objects: cfg.Objects, Requests: cfg.Requests,
+			RWRatio: cfg.RWRatio, Seed: cfg.Seed, DemandSeed: cfg.Seed + 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ctrl, err := New(p1.Cost, p1.Work, p1.Capacity, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := demandDiff(p1.Work, w2)
+		if len(diff) == 0 {
+			t.Fatalf("seed %d: demand diff is empty, test is vacuous", seed)
+		}
+		if _, err := ctrl.ApplyDeltas(diff); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctrl.SolveNow(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+
+		p2, err := replication.NewProblem(p1.Cost, w2, p1.Capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := solver.Lookup("agt-ram")
+		direct, err := s.Solve(context.Background(), p2, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got := ctrl.Current().Schema
+		if got.TotalCost() != direct.Schema.TotalCost() {
+			t.Fatalf("seed %d: deltas-then-solve OTC %d != direct solve OTC %d",
+				seed, got.TotalCost(), direct.Schema.TotalCost())
+		}
+		if !reflect.DeepEqual(got.Matrix(), direct.Schema.Matrix()) {
+			t.Fatalf("seed %d: placements diverge between delta path and materialized path", seed)
+		}
+		if err := got.ValidateInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestBatchAtomicity: a batch with one invalid delta changes nothing.
+func TestBatchAtomicity(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(2))
+	ctrl, err := New(p.Cost, p.Work, p.Capacity, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ctrl.Metrics()
+	_, err = ctrl.ApplyDeltas([]Delta{
+		{Kind: KindDemand, Server: 0, Object: 0, Reads: 100},
+		{Kind: KindDemand, Server: p.M + 5, Object: 0, Reads: 1}, // invalid
+	})
+	if err == nil {
+		t.Fatal("batch with an out-of-range delta was accepted")
+	}
+	after := ctrl.Metrics()
+	if after.Version != before.Version || after.DeltasApplied != before.DeltasApplied {
+		t.Fatalf("rejected batch mutated state: %+v -> %+v", before, after)
+	}
+	if _, err := ctrl.Route(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObjectLifecycle: add an object, drive demand at it, solve, retire it.
+func TestObjectLifecycle(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(5))
+	ctrl, err := New(p.Cost, p.Work, p.Capacity, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newObj := int32(p.N)
+	batch := []Delta{{Kind: KindAddObject, Size: 1, Primary: 0}}
+	for i := 1; i < p.M; i++ {
+		batch = append(batch, Delta{Kind: KindDemand, Server: i, Object: newObj, Reads: 5000})
+	}
+	if _, err := ctrl.ApplyDeltas(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Metrics().Objects; got != p.N+1 {
+		t.Fatalf("objects = %d after add, want %d", got, p.N+1)
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Replicas includes the primary copy; heavy demand must add more.
+	v := ctrl.Current()
+	if len(v.Schema.Replicas(newObj)) <= 1 {
+		t.Fatal("heavy demand at the new object produced no replicas")
+	}
+
+	// Retire it: demand is gone immediately, replicas dissolve at the next
+	// re-pricing.
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindRemoveObject, Object: newObj}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	v = ctrl.Current()
+	if got := v.Schema.Replicas(newObj); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("retired object holds %v after re-solve, want its primary [0] only", got)
+	}
+	// Its primary copy must survive: routing to it still answers.
+	nn, err := ctrl.Route(3, newObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn != 0 {
+		t.Fatalf("retired object routes to %d, want its primary 0", nn)
+	}
+	// New demand at a retired object is invalid.
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindDemand, Server: 1, Object: newObj, Reads: 1}}); err == nil {
+		t.Fatal("demand delta at a retired object was accepted")
+	}
+}
+
+// TestServerLeaveJoin: departure drops the server's surplus replicas and
+// demand; rejoining restores capacity. Growth past the cost oracle fails.
+func TestServerLeaveJoin(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(6))
+	ctrl, err := New(p.Cost, p.Work, p.Capacity, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a server holding surplus replicas.
+	v := ctrl.Current()
+	victim := -1
+	for i := 0; i < p.M && victim < 0; i++ {
+		for k := int32(0); int(k) < p.N; k++ {
+			if int32(i) != p.Work.Primary[k] && v.Schema.HasReplica(k, i) {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no server holds a surplus replica after solving")
+	}
+
+	res, err := ctrl.ApplyDeltas([]Delta{{Kind: KindServerLeave, Server: victim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("departure of a replica-holding server dropped nothing")
+	}
+	m := ctrl.Metrics()
+	if m.ActiveServers != p.M-1 || m.Evictions == 0 {
+		t.Fatalf("metrics after leave: active=%d evictions=%d", m.ActiveServers, m.Evictions)
+	}
+	// The departed server keeps its primaries and still routes.
+	if _, err := ctrl.Route(victim, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Demand at a departed server is rejected; double-leave too.
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindDemand, Server: victim, Object: 0, Reads: 1}}); err == nil {
+		t.Fatal("demand delta at a departed server was accepted")
+	}
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindServerLeave, Server: victim}}); err == nil {
+		t.Fatal("double departure was accepted")
+	}
+
+	// Rejoin with fresh capacity.
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindServerJoin, Server: victim, Capacity: p.Capacity[victim]}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Metrics().ActiveServers; got != p.M {
+		t.Fatalf("active servers after rejoin = %d, want %d", got, p.M)
+	}
+	// Growing beyond the cost oracle's coverage must fail (the test
+	// topology covers exactly M servers).
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindServerJoin, Server: p.M, Capacity: 100}}); err == nil {
+		t.Fatal("growth past the cost oracle was accepted")
+	}
+}
+
+// TestDriftAutoSolve: a demand shift past the threshold triggers a
+// background re-solve without any explicit SolveNow call.
+func TestDriftAutoSolve(t *testing.T) {
+	cfg := testutil.Small(8)
+	p := testutil.MustBuild(cfg)
+	ctrl, err := New(p.Cost, p.Work, p.Capacity, Config{
+		DriftThreshold: 0.01,
+		SolveDebounce:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctrl.Start(ctx)
+	defer ctrl.Close()
+
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	solved := ctrl.Metrics().SolvesRun
+
+	// Shift demand until the drift trips the threshold.
+	scheduled := false
+	for ds := int64(1); ds <= 5 && !scheduled; ds++ {
+		w2, err := workload.Synthetic(workload.SyntheticConfig{
+			Servers: cfg.Servers, Objects: cfg.Objects, Requests: cfg.Requests,
+			RWRatio: cfg.RWRatio, Seed: cfg.Seed, DemandSeed: cfg.Seed + 100*ds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ctrl.ApplyDeltas(demandDiff(ctrl.Current().Problem.Work, w2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheduled = res.SolveScheduled
+	}
+	if !scheduled {
+		t.Fatal("no demand shift produced drift above 0.01 percentage points")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := ctrl.Metrics(); m.SolvesRun > solved && m.Drift == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("background solve never ran: %+v", ctrl.Metrics())
+}
+
+// TestRestorePlacement round-trips a placement through the report form the
+// daemon persists on shutdown.
+func TestRestorePlacement(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(10))
+	ctrl, err := New(p.Cost, p.Work, p.Capacity, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep := ctrl.Placement()
+
+	again, err := New(p.Cost, p.Work, p.Capacity, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := again.RestorePlacement(rep); err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Current().Schema.TotalCost(); got != rep.OTC {
+		t.Fatalf("restored OTC %d != persisted %d", got, rep.OTC)
+	}
+	if m := again.Metrics(); m.Drift != 0 || m.SolvedSavings != rep.Savings {
+		t.Fatalf("restore did not reset the drift baseline: %+v", m)
+	}
+}
+
+// TestDeltasFromEvents covers the trace-to-delta aggregation, including the
+// nil-ClientMap convention (client c -> server c mod M).
+func TestDeltasFromEvents(t *testing.T) {
+	events := []trace.Event{
+		{Client: 0, Object: 3},
+		{Client: 0, Object: 3, Write: true},
+		{Client: 4, Object: 3}, // 4 mod 4 -> server 0
+		{Client: 1, Object: 7},
+	}
+	ds, err := DeltasFromEvents(events, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Delta{
+		{Kind: KindDemand, Server: 0, Object: 3, Reads: 2, Writes: 1},
+		{Kind: KindDemand, Server: 1, Object: 7, Reads: 1},
+	}
+	if !reflect.DeepEqual(ds, want) {
+		t.Fatalf("DeltasFromEvents = %+v, want %+v", ds, want)
+	}
+	cm := workload.ClientMap{0: 2, 1: 2}
+	ds, err = DeltasFromEvents(events[:2], cm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Server != 2 {
+		t.Fatalf("client map ignored: %+v", ds)
+	}
+	if _, err := DeltasFromEvents(events, cm, 4); err == nil {
+		t.Fatal("event referencing a client outside the map was accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package replication_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/workload"
+)
+
+// TestSnapshotNoAliasing mutates every mutable surface of a snapshot and
+// verifies the original problem is untouched (and vice versa).
+func TestSnapshotNoAliasing(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(7))
+	base := p.NewSchema().TotalCost()
+	baseWork := p.Work.Clone()
+	baseCaps := append([]int64(nil), p.Capacity...)
+
+	c := p.Snapshot()
+	if c.M != p.M || c.N != p.N {
+		t.Fatalf("snapshot shape %dx%d != original %dx%d", c.M, c.N, p.M, p.N)
+	}
+	if got := c.NewSchema().TotalCost(); got != base {
+		t.Fatalf("snapshot base OTC %d != original %d", got, base)
+	}
+
+	// Mutate the copy everywhere a delta could reach.
+	for i := range c.Capacity {
+		c.Capacity[i] += 1000
+	}
+	for i := range c.Work.PerServer {
+		for j := range c.Work.PerServer[i] {
+			c.Work.PerServer[i][j].Reads += 99
+			c.Work.PerServer[i][j].Writes += 99
+		}
+	}
+	for k := range c.Work.ObjectSize {
+		c.Work.ObjectSize[k]++
+	}
+	for k := range c.Work.TotalReads {
+		c.Work.TotalReads[k] += 5
+		c.Work.TotalWrites[k] += 5
+	}
+
+	if !reflect.DeepEqual(p.Work, baseWork) {
+		t.Fatal("mutating the snapshot's workload reached the original")
+	}
+	if !reflect.DeepEqual(p.Capacity, baseCaps) {
+		t.Fatal("mutating the snapshot's capacities reached the original")
+	}
+	if got := p.NewSchema().TotalCost(); got != base {
+		t.Fatalf("original base OTC drifted after snapshot mutation: %d != %d", got, base)
+	}
+
+	// And the other direction: placements on the original must not leak into
+	// schemas derived from the snapshot.
+	c2 := p.Snapshot()
+	s := p.NewSchema()
+	placed := false
+	for k := int32(0); int(k) < p.N && !placed; k++ {
+		for m := 0; m < p.M; m++ {
+			if s.CanPlace(k, m) == nil {
+				if _, err := s.PlaceReplica(k, m); err != nil {
+					t.Fatal(err)
+				}
+				placed = true
+				break
+			}
+		}
+	}
+	if !placed {
+		t.Skip("no feasible placement on this instance")
+	}
+	if got, want := c2.NewSchema().Placed(), 0; got != want {
+		t.Fatalf("snapshot schema saw %d placements from the original", got)
+	}
+}
+
+// TestWorkloadCloneIndependence covers the Clone helper directly.
+func TestWorkloadCloneIndependence(t *testing.T) {
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Servers: 8, Objects: 30, Requests: 4000, RWRatio: 0.8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Clone()
+	if !reflect.DeepEqual(w, c) {
+		t.Fatal("clone differs from original before mutation")
+	}
+	if len(c.PerServer[0]) > 0 {
+		c.PerServer[0][0].Reads += 1234
+	}
+	c.ObjectSize[0] += 7
+	c.Primary[0] = (c.Primary[0] + 1) % int32(c.M)
+	c.TotalReads[0] += 9
+	if reflect.DeepEqual(w, c) {
+		t.Fatal("mutation of the clone did not register")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("original invalid after clone mutation: %v", err)
+	}
+}
+
+// TestCarryOver verifies feasible replicas survive and infeasible ones are
+// dropped with an accurate count.
+func TestCarryOver(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(11))
+	s := p.NewSchema()
+	// Place a handful of replicas greedily.
+	placedMatrix := [][]int32(nil)
+	for k := int32(0); int(k) < p.N; k++ {
+		for m := 0; m < p.M && s.Placed() < 12; m++ {
+			if s.CanPlace(k, m) == nil && s.DeltaIfPlaced(k, m) < 0 {
+				if _, err := s.PlaceReplica(k, m); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	placedMatrix = s.Matrix()
+
+	// Carrying onto an identical problem loses nothing.
+	got, dropped := p.Snapshot().CarryOver(placedMatrix)
+	if dropped != 0 {
+		t.Fatalf("carry-over onto identical problem dropped %d replicas", dropped)
+	}
+	if got.TotalCost() != s.TotalCost() || got.Placed() != s.Placed() {
+		t.Fatalf("carry-over OTC %d/placed %d != original %d/%d",
+			got.TotalCost(), got.Placed(), s.TotalCost(), s.Placed())
+	}
+	if err := got.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink every capacity to its primary load: every surplus replica must
+	// be dropped, none may slip through.
+	tight := p.Snapshot()
+	for i := range tight.Capacity {
+		tight.Capacity[i] = tight.PrimaryLoad(i)
+	}
+	bare, droppedAll := tight.CarryOver(placedMatrix)
+	if droppedAll != s.Placed() {
+		t.Fatalf("tight carry-over dropped %d, want all %d", droppedAll, s.Placed())
+	}
+	if bare.Placed() != 0 {
+		t.Fatalf("tight carry-over still holds %d replicas", bare.Placed())
+	}
+	if err := bare.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

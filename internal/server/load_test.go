@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/testutil"
+)
+
+// TestRouteUnderConcurrentDeltas is the concurrency-hardening load test:
+// route reads hammer the hot path while delta batches and forced solves
+// swap the View underneath them. Run under -race (make loadtest / make ci)
+// it proves the RCU publication discipline: no torn reads, no locks on the
+// read path, no goroutine leaks.
+func TestRouteUnderConcurrentDeltas(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctrl, ts := newTestServer(t, 42, online.Config{
+		DriftThreshold: 0.5,
+		SolveDebounce:  5 * time.Millisecond,
+	})
+	p := ctrl.Current().Problem
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	const (
+		routers      = 8
+		routesPerG   = 200
+		deltaWriters = 2
+		deltasPerG   = 40
+		forcedSolves = 3
+	)
+	var (
+		wg       sync.WaitGroup
+		routeOK  atomic.Int64
+		failures atomic.Int64
+		firstErr atomic.Value
+	)
+	fail := func(err error) {
+		failures.Add(1)
+		firstErr.CompareAndSwap(nil, err)
+	}
+	do := func(req *http.Request, wantOK bool) (int, []byte) {
+		resp, err := client.Do(req)
+		if err != nil {
+			fail(err)
+			return 0, nil
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if wantOK && resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("%s %s: status %d: %s", req.Method, req.URL.Path, resp.StatusCode, b))
+		}
+		return resp.StatusCode, b
+	}
+
+	// Route readers: every answer must be a valid server id of the live
+	// instance, whatever version is published at that instant.
+	for g := 0; g < routers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < routesPerG; i++ {
+				srv := (g*7 + i) % p.M
+				obj := (g*13 + i) % p.N
+				req, _ := http.NewRequest(http.MethodGet,
+					fmt.Sprintf("%s/route?server=%d&object=%d", ts.URL, srv, obj), nil)
+				code, body := do(req, true)
+				if code != http.StatusOK {
+					continue
+				}
+				var out struct {
+					ReadFrom int32 `json:"read_from"`
+				}
+				if err := json.Unmarshal(body, &out); err != nil {
+					fail(err)
+					continue
+				}
+				if out.ReadFrom < 0 || int(out.ReadFrom) >= p.M {
+					fail(fmt.Errorf("route answered server %d outside [0,%d)", out.ReadFrom, p.M))
+					continue
+				}
+				routeOK.Add(1)
+			}
+		}(g)
+	}
+
+	// Delta writers: keep shifting demand so the drift loop stays busy.
+	for g := 0; g < deltaWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < deltasPerG; i++ {
+				srv := (g*5 + i) % p.M
+				obj := (g*3 + 2*i) % p.N
+				body := fmt.Sprintf(`[{"kind":"demand","server":%d,"object":%d,"reads":%d}]`,
+					srv, obj, 500+100*i)
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/deltas", strings.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				do(req, true)
+			}
+		}(g)
+	}
+
+	// Forced solves race the drift-triggered ones.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < forcedSolves; i++ {
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/solve", nil)
+			do(req, true)
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctrl.Start(ctx)
+	wg.Wait()
+	ctrl.Close()
+
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d request failures under load; first: %v", n, firstErr.Load())
+	}
+	if got, want := routeOK.Load(), int64(routers*routesPerG); got != want {
+		t.Fatalf("only %d/%d routes verified", got, want)
+	}
+	// The placement the storm settled on must still satisfy every schema
+	// invariant, and the metrics must add up.
+	if err := ctrl.Current().Schema.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m := ctrl.Metrics()
+	if m.DeltasApplied != int64(deltaWriters*deltasPerG) {
+		t.Fatalf("deltas applied %d, want %d", m.DeltasApplied, deltaWriters*deltasPerG)
+	}
+	if m.SolvesRun < forcedSolves {
+		t.Fatalf("solves run %d, want at least %d", m.SolvesRun, forcedSolves)
+	}
+}

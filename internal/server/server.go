@@ -1,0 +1,201 @@
+// Package server exposes the online controller over HTTP: lock-free routing
+// on the hot path, batched workload deltas (JSON or trace streams), forced
+// solves, placement snapshots and metrics. The handler is plain net/http
+// with no per-request allocation on /route beyond the response itself.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// maxBody bounds delta payloads (JSON batches and trace streams).
+const maxBody = 32 << 20
+
+// ringSize is the route-latency reservoir: the last ringSize observations,
+// overwritten in arrival order. Power of two so the modulo is a mask.
+const ringSize = 4096
+
+// Server is the HTTP facade over one controller.
+type Server struct {
+	ctrl  *online.Controller
+	mux   *http.ServeMux
+	start time.Time
+
+	routes     atomic.Int64 // route requests served
+	routeNanos [ringSize]atomic.Int64
+}
+
+// New wires the handler set for ctrl.
+func New(ctrl *online.Controller) *Server {
+	s := &Server{ctrl: ctrl, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /route", s.handleRoute)
+	s.mux.HandleFunc("GET /placement", s.handlePlacement)
+	s.mux.HandleFunc("POST /deltas", s.handleDeltas)
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleRoute answers "which server does server i read object k from". It
+// reads one atomic pointer and two ints — no locks, no controller state.
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	q := r.URL.Query()
+	srv, err := strconv.Atoi(q.Get("server"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad server: %w", err))
+		return
+	}
+	obj, err := strconv.ParseInt(q.Get("object"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad object: %w", err))
+		return
+	}
+	from, err := s.ctrl.Route(srv, int32(obj))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"server": srv, "object": obj, "read_from": from,
+	})
+	n := s.routes.Add(1)
+	s.routeNanos[(n-1)&(ringSize-1)].Store(time.Since(t0).Nanoseconds())
+}
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ctrl.Placement())
+}
+
+// handleDeltas applies one atomic batch. Three encodings:
+//
+//   - JSON (default): a single JSON array of delta objects.
+//   - binary trace ("WCTR"): Content-Type application/octet-stream or
+//     ?format=trace — a trace.WriteBinary stream, aggregated into demand
+//     deltas with the client-mod-M mapping.
+//   - CLF: ?format=clf — a Common-Log-Format trace, same aggregation.
+//
+// Malformed input of any encoding is a 400; the controller state is never
+// partially updated.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	ds, err := s.decodeDeltas(body, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.ctrl.ApplyDeltas(ds)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) decodeDeltas(body io.Reader, r *http.Request) ([]online.Delta, error) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+		if ct == "application/octet-stream" {
+			format = "trace"
+		}
+	}
+	switch format {
+	case "trace", "clf":
+		var (
+			l   *trace.Log
+			err error
+		)
+		if format == "trace" {
+			l, err = trace.ReadBinary(body)
+		} else {
+			l, err = trace.ReadCLF(body)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("decode %s stream: %w", format, err)
+		}
+		if err := l.Validate(); err != nil {
+			return nil, fmt.Errorf("invalid trace: %w", err)
+		}
+		return online.DeltasFromEvents(l.Events, nil, s.ctrl.Current().Problem.M)
+	case "", "json":
+		dec := json.NewDecoder(body)
+		var ds []online.Delta
+		if err := dec.Decode(&ds); err != nil {
+			return nil, fmt.Errorf("decode JSON deltas: %w", err)
+		}
+		if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+			return nil, errors.New("trailing data after delta array")
+		}
+		return ds, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want json|trace|clf)", format)
+	}
+}
+
+// handleSolve forces a re-solve regardless of drift, synchronously.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if err := s.ctrl.SolveNow(r.Context()); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	m := s.ctrl.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": m.Version, "otc": m.OTC, "savings_percent": m.Savings,
+		"replicas": m.Replicas, "solves_run": m.SolvesRun,
+	})
+}
+
+// routeLatency summarizes the reservoir in microseconds.
+func (s *Server) routeLatency() stats.Summary {
+	n := s.routes.Load()
+	if n > ringSize {
+		n = ringSize
+	}
+	xs := make([]float64, 0, n)
+	for i := int64(0); i < n; i++ {
+		xs = append(xs, float64(s.routeNanos[i].Load())/1e3)
+	}
+	return stats.Summarize(xs)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"controller":       s.ctrl.Metrics(),
+		"routes_served":    s.routes.Load(),
+		"route_latency_us": s.routeLatency(),
+		"uptime_seconds":   time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

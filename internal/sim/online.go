@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/online"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// OnlineReplay summarizes driving a trace through the online controller.
+type OnlineReplay struct {
+	// Batches is the number of delta batches fed; Deltas the aggregated
+	// (server, object) demand deltas across them.
+	Batches int
+	Deltas  int
+	// Solves counts the controller solves this replay ran.
+	Solves int64
+	// FinalOTC is the analytical OTC of the placement the controller ended
+	// on; Metrics is the event-by-event replay of the full trace against
+	// that same placement. For a controller whose demand came entirely from
+	// this trace, Metrics.TransferCost equals FinalOTC exactly — the
+	// incremental delta path and the aggregate OTC formula agree.
+	FinalOTC int64
+	Metrics  *Metrics
+}
+
+// ReplayOnline feeds the trace into the controller as chronological delta
+// batches — the daemon's POST /deltas path exercised in-process — solves,
+// and replays the full trace against the final placement. cm maps trace
+// clients onto the controller's servers and must cover every client (the
+// same map Replay requires). With solvePerBatch the controller re-solves
+// after every batch, modelling a daemon that keeps up with its feed;
+// otherwise it solves once at the end.
+func ReplayOnline(ctx context.Context, ctrl *online.Controller, l *trace.Log, cm workload.ClientMap, batches int, solvePerBatch bool) (*OnlineReplay, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if batches < 1 {
+		batches = 1
+	}
+	if len(l.Events) == 0 {
+		return nil, fmt.Errorf("sim: trace has no events")
+	}
+	servers := ctrl.Current().Problem.M
+	out := &OnlineReplay{}
+	per := (len(l.Events) + batches - 1) / batches
+	for start := 0; start < len(l.Events); start += per {
+		end := start + per
+		if end > len(l.Events) {
+			end = len(l.Events)
+		}
+		ds, err := online.DeltasFromEvents(l.Events[start:end], cm, servers)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ctrl.ApplyDeltas(ds); err != nil {
+			return nil, fmt.Errorf("sim: batch %d: %w", out.Batches, err)
+		}
+		out.Batches++
+		out.Deltas += len(ds)
+		if solvePerBatch {
+			if err := ctrl.SolveNow(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !solvePerBatch {
+		if err := ctrl.SolveNow(ctx); err != nil {
+			return nil, err
+		}
+	}
+	v := ctrl.Current()
+	m, err := Replay(l, cm, v.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out.Solves = ctrl.Metrics().SolvesRun
+	out.FinalOTC = v.Schema.TotalCost()
+	out.Metrics = m
+	return out, nil
+}

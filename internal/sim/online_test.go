@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/online"
+)
+
+// TestReplayOnlineMatchesAnalyticalOTC drives the full trace through the
+// online controller in chronological delta batches and checks the ISSUE's
+// invariant: the realized transfer cost of replaying the trace equals the
+// analytical OTC of the placement the controller ended on.
+func TestReplayOnlineMatchesAnalyticalOTC(t *testing.T) {
+	l, cm, p := buildSystem(t, 21)
+
+	// The controller starts with the catalogue (sizes, primaries) and zero
+	// demand: everything it learns arrives through deltas.
+	w0 := p.Work.Clone()
+	for i := range w0.PerServer {
+		w0.PerServer[i] = nil
+	}
+	w0.Finalize()
+
+	for _, solvePerBatch := range []bool{false, true} {
+		ctrl, err := online.New(p.Cost, w0, p.Capacity, online.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReplayOnline(context.Background(), ctrl, l, cm, 8, solvePerBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Batches != 8 || rep.Deltas == 0 {
+			t.Fatalf("solvePerBatch=%v: fed %d batches / %d deltas", solvePerBatch, rep.Batches, rep.Deltas)
+		}
+		if rep.Metrics.TransferCost != rep.FinalOTC {
+			t.Fatalf("solvePerBatch=%v: realized transfer cost %d != analytical OTC %d",
+				solvePerBatch, rep.Metrics.TransferCost, rep.FinalOTC)
+		}
+		wantSolves := int64(1)
+		if solvePerBatch {
+			wantSolves = int64(rep.Batches)
+		}
+		if rep.Solves != wantSolves {
+			t.Fatalf("solvePerBatch=%v: ran %d solves, want %d", solvePerBatch, rep.Solves, wantSolves)
+		}
+		if err := ctrl.Current().Schema.ValidateInvariants(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The incrementally accumulated demand must equal the offline
+		// aggregation (workload.FromTrace) exactly.
+		got := ctrl.Current().Problem.Work
+		if !reflect.DeepEqual(got.PerServer, p.Work.PerServer) {
+			t.Fatalf("solvePerBatch=%v: delta-fed demand diverges from offline aggregation", solvePerBatch)
+		}
+	}
+}
+
+// TestReplayOnlineBadInput covers the error paths.
+func TestReplayOnlineBadInput(t *testing.T) {
+	l, cm, p := buildSystem(t, 22)
+	w0 := p.Work.Clone()
+	for i := range w0.PerServer {
+		w0.PerServer[i] = nil
+	}
+	w0.Finalize()
+	ctrl, err := online.New(p.Cost, w0, p.Capacity, online.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayOnline(context.Background(), ctrl, l, cm[:1], 4, false); err == nil {
+		t.Fatal("client map short of the trace's clients was accepted")
+	}
+	empty := *l
+	empty.Events = nil
+	if _, err := ReplayOnline(context.Background(), ctrl, &empty, cm, 4, false); err == nil {
+		t.Fatal("empty trace was accepted")
+	}
+}

@@ -105,6 +105,28 @@ func (w *Workload) Validate() error {
 	return nil
 }
 
+// Clone returns an independent deep copy of the workload: mutating the
+// copy's demand lists, catalogue or aggregates never affects the original.
+func (w *Workload) Clone() *Workload {
+	c := &Workload{
+		M:          w.M,
+		N:          w.N,
+		ObjectSize: append([]int64(nil), w.ObjectSize...),
+		Primary:    append([]int32(nil), w.Primary...),
+		PerServer:  make([][]Demand, len(w.PerServer)),
+	}
+	for i, ds := range w.PerServer {
+		c.PerServer[i] = append([]Demand(nil), ds...)
+	}
+	if w.TotalReads != nil {
+		c.TotalReads = append([]int64(nil), w.TotalReads...)
+	}
+	if w.TotalWrites != nil {
+		c.TotalWrites = append([]int64(nil), w.TotalWrites...)
+	}
+	return c
+}
+
 // Demands returns server i's demand list (sorted by object).
 func (w *Workload) Demands(i int) []Demand { return w.PerServer[i] }
 
