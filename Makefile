@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all vet staticcheck build test race bench ci fuzz faultmatrix loadtest
+.PHONY: all vet staticcheck build test race bench bench-json ci fuzz faultmatrix loadtest
 
 all: build
 
@@ -32,6 +32,21 @@ race:
 # One iteration of every benchmark: checks the harness runs, not the numbers.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Machine-readable engine benchmarks: the six-method comparison
+# (BenchmarkSolve) plus the AGT-RAM engine comparison at Table-1 scale
+# (M=48), M=500 and M=1000 — including the incremental kernel's
+# w1/w2/w4/w8 worker sweep — parsed into a JSON artifact (BENCH_*.json,
+# CI regression gate). Tune with
+#   make bench-json BENCH_PATTERN='AGTRAMEnginesLarge' BENCHTIME=10x BENCH_OUT=pr.json
+BENCH_PATTERN ?= AGTRAMEngines|Solve$$
+BENCHTIME ?= 5x
+BENCH_OUT ?= BENCH.json
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCHTIME) . > bench.out
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
+	@rm -f bench.out
 
 # The fault-matrix suite: injected crashes, truncated frames, severed and
 # slow links against both wire engines, plus the fault-free differential

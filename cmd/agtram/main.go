@@ -85,6 +85,7 @@ func toJSONResult(icfg repro.InstanceConfig, engine string, res *repro.Result) j
 func main() {
 	inst := cliflags.AddInstance(flag.CommandLine)
 	eng := cliflags.AddEngine(flag.CommandLine)
+	prof := cliflags.AddProfile(flag.CommandLine)
 	var (
 		method  = flag.String("method", "agt-ram", "method: agt-ram|greedy|gra|ae-star|da|ea")
 		all     = flag.Bool("all", false, "run all six methods and print a comparison table")
@@ -110,6 +111,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 	icfg := inst.Config()
 
 	ctx := context.Background()

@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +55,7 @@ func main() {
 		debounce = flag.Duration("debounce", 2*time.Second, "minimum spacing between automatic re-solves")
 		snapshot = flag.String("snapshot", "", "placement snapshot path: restored on start, written on shutdown")
 		warm     = flag.Bool("warm", false, "seed re-solves with the live placement instead of solving cold (less churn, timing-dependent placements)")
+		debug    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling endpoints on the same listener)")
 	)
 	flag.Parse()
 
@@ -123,7 +125,21 @@ func main() {
 	}
 	ctrl.Start(ctx)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: server.New(ctrl)}
+	// The pprof endpoints are opt-in and share the service listener: a mux
+	// claims /debug/pprof/ and hands everything else to the API handler.
+	var handler http.Handler = server.New(ctrl)
+	if *debug {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logf("pprof endpoints enabled under /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logf("listening on %s (drift threshold %.2f, debounce %s)", *addr, *drift, *debounce)

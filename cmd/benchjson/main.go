@@ -1,0 +1,235 @@
+// Command benchjson turns `go test -bench` text output into a stable JSON
+// artifact and compares two such artifacts for regressions.
+//
+// Parse mode (default) reads benchmark output on stdin and writes JSON:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Compare mode diffs two artifacts, prints a Markdown delta table (fit for
+// a GitHub Actions job summary), and exits non-zero when any benchmark
+// present in both regressed in ns/op by more than -threshold percent:
+//
+//	benchjson -compare main.json pr.json -threshold 15
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and without
+	// the trailing -GOMAXPROCS tag (which lands in Procs).
+	Name  string `json:"name"`
+	Procs int    `json:"procs,omitempty"`
+	// Workers is the engine worker count encoded in a trailing "-wN" name
+	// segment by the scaled engine benchmarks; 0 means the engine default.
+	Workers    int     `json:"workers,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Secondary metrics (-benchmem and b.ReportMetric): B/op, allocs/op,
+	// valuations/op, rounds, ... keyed by their unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the JSON document: environment stamp plus results.
+type Artifact struct {
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write JSON artifact to this file (default stdout)")
+		compare   = flag.Bool("compare", false, "compare two artifacts: benchjson -compare old.json new.json")
+		threshold = flag.Float64("threshold", 15, "compare: fail on ns/op regressions above this percent")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-threshold pct]")
+			os.Exit(1)
+		}
+		code, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
+
+	art, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and collects every result line.
+// Non-benchmark lines (package headers, PASS/ok, warmup chatter) are
+// ignored, so the whole `go test` stream can be piped through untouched.
+func Parse(r io.Reader) (*Artifact, error) {
+	art := &Artifact{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			art.Benchmarks = append(art.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(art.Benchmarks, func(i, j int) bool {
+		return art.Benchmarks[i].Name < art.Benchmarks[j].Name
+	})
+	return art, nil
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimPrefix(f[0], "Benchmark"), Metrics: map[string]float64{}}
+	// Split the -GOMAXPROCS tag the testing package appends.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	// A trailing "/...-wN" segment is the engine worker count.
+	if i := strings.LastIndex(b.Name, "-w"); i > 0 {
+		if w, err := strconv.Atoi(b.Name[i+2:]); err == nil {
+			b.Workers = w
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		if f[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[f[i+1]] = v
+		}
+	}
+	if b.NsPerOp == 0 && len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+func load(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// runCompare writes the Markdown delta report and returns the exit code:
+// 0 when everything holds, 2 when a shared benchmark regressed beyond the
+// threshold.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldArt, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newArt, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldArt.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Fprintf(w, "### Benchmark comparison (threshold %.0f%% ns/op)\n\n", threshold)
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | Δ allocs/op |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	regressions := 0
+	for _, nb := range newArt.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok || ob.NsPerOp == 0 {
+			fmt.Fprintf(w, "| %s | — | %s | new | |\n", nb.Name, fmtNs(nb.NsPerOp))
+			continue
+		}
+		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		mark := ""
+		if delta > threshold {
+			regressions++
+			mark = " ⚠️"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s |\n",
+			nb.Name, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta, mark,
+			fmtAllocDelta(ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]))
+	}
+	fmt.Fprintln(w)
+	if regressions > 0 {
+		fmt.Fprintf(w, "**%d benchmark(s) regressed more than %.0f%% in ns/op.**\n", regressions, threshold)
+		return 2, nil
+	}
+	fmt.Fprintln(w, "No ns/op regressions beyond the threshold.")
+	return 0, nil
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fmtAllocDelta(oldA, newA float64) string {
+	if oldA == 0 && newA == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.0f → %.0f", oldA, newA)
+}

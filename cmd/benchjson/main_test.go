@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAGTRAMEnginesLarge/incremental-8         	      20	   3237119 ns/op	      6288 valuations/op	  721760 B/op	      51 allocs/op
+BenchmarkAGTRAMEnginesLarge/sync-8                	       5	   48013210 ns/op	 8123456 valuations/op	 9923840 B/op	 120031 allocs/op
+BenchmarkAGTRAMEnginesLarge/incremental-w4-8      	      20	   3301200 ns/op	      6290 valuations/op	  721800 B/op	      51 allocs/op
+BenchmarkSolve/agtram                             	     100	    911234 ns/op	      4521 valuations/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	art, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(art.Benchmarks))
+	}
+	by := map[string]Benchmark{}
+	for _, b := range art.Benchmarks {
+		by[b.Name] = b
+	}
+	inc := by["AGTRAMEnginesLarge/incremental"]
+	if inc.NsPerOp != 3237119 || inc.Procs != 8 || inc.Iterations != 20 {
+		t.Fatalf("incremental parsed wrong: %+v", inc)
+	}
+	if inc.Metrics["allocs/op"] != 51 || inc.Metrics["valuations/op"] != 6288 {
+		t.Fatalf("incremental metrics wrong: %+v", inc.Metrics)
+	}
+	w4 := by["AGTRAMEnginesLarge/incremental-w4"]
+	if w4.Workers != 4 {
+		t.Fatalf("worker suffix not parsed: %+v", w4)
+	}
+	// The -8 procs tag must not be mistaken for a worker count.
+	if inc.Workers != 0 {
+		t.Fatalf("default-engine run got workers=%d, want 0", inc.Workers)
+	}
+	solve := by["Solve/agtram"]
+	if solve.Procs != 0 || solve.NsPerOp != 911234 {
+		t.Fatalf("untagged benchmark parsed wrong: %+v", solve)
+	}
+}
+
+func writeArtifact(t *testing.T, dir, name string, art Artifact) string {
+	t.Helper()
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", Artifact{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 10}},
+		{Name: "B", NsPerOp: 2000},
+		{Name: "Gone", NsPerOp: 5},
+	}})
+
+	// Within threshold: +10% on A, improvement on B, one new benchmark.
+	newOK := writeArtifact(t, dir, "new_ok.json", Artifact{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 1100, Metrics: map[string]float64{"allocs/op": 0}},
+		{Name: "B", NsPerOp: 900},
+		{Name: "New", NsPerOp: 7},
+	}})
+	var sb strings.Builder
+	code, err := runCompare(&sb, oldPath, newOK, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d on a within-threshold comparison:\n%s", code, sb.String())
+	}
+	for _, want := range []string{"| A |", "+10.0%", "-55.0%", "| New | — |", "10 → 0"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Beyond threshold: +50% on B must fail.
+	newBad := writeArtifact(t, dir, "new_bad.json", Artifact{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 3000},
+	}})
+	sb.Reset()
+	code, err = runCompare(&sb, oldPath, newBad, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code %d on a regressed comparison, want 2:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "1 benchmark(s) regressed") {
+		t.Fatalf("report missing regression summary:\n%s", sb.String())
+	}
+}
+
+func TestCompareMissingFile(t *testing.T) {
+	if _, err := runCompare(&strings.Builder{}, "does-not-exist.json", "also-missing.json", 15); err == nil {
+		t.Fatal("comparing missing files succeeded")
+	}
+}

@@ -8,6 +8,9 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,6 +59,58 @@ func (c *Instance) Config() repro.InstanceConfig {
 		EdgeP:           c.EdgeP,
 		Seed:            c.Seed,
 	}
+}
+
+// Profile collects the pprof output flags.
+type Profile struct {
+	CPU string
+	Mem string
+}
+
+// AddProfile registers -cpuprofile and -memprofile on fs.
+func AddProfile(fs *flag.FlagSet) *Profile {
+	p := &Profile{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given and returns the
+// function that finishes both profiles; call it (usually deferred) on the
+// way out. With neither flag set both Start and the returned func are
+// no-ops.
+func (p *Profile) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // Engine collects the AGT-RAM engine-selection and fault-injection flags.

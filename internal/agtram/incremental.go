@@ -1,10 +1,11 @@
 package agtram
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"runtime"
 
+	"repro/internal/candidates"
 	"repro/internal/mechanism"
 	"repro/internal/pool"
 	"repro/internal/replication"
@@ -21,20 +22,19 @@ import (
 //
 // Exactness rests on monotonicity: a candidate's benefit is non-increasing
 // over a run (nnCost only falls, residual capacity only shrinks), so every
-// cached value is an upper bound on the current one. Two lazy max-heaps
-// exploit that:
+// cached value is an upper bound on the current one. The kernel (kernel.go)
+// exploits that with lazy max-heaps over flat arenas — per agent over its
+// candidates, per shard of agents over their cached dominant bids — and
+// settles each round's (winner, second-best) with a sharded refresh plus a
+// deterministic tournament reduction. The data layout is struct-of-arrays
+// end to end, allocated once up front, so steady-state rounds allocate
+// nothing and the re-pricing fans out across cfg.Workers with no
+// synchronization beyond the phase barriers.
 //
-//   - per agent, a heap over its candidates keyed by the last benefit
-//     computed, so finding the agent's dominant bid re-prices only the
-//     candidates that float to the top instead of the whole list;
-//   - globally, a heap over the agents' cached dominant bids, from which
-//     the mechanism settles both the winner and — critical for the Vickrey
-//     payment — the second-best report, refreshing stale entries until the
-//     top (and, under second-price, the runner-up) are provably current.
-//
-// The allocations, round count, and payments are bit-identical to Solve's;
-// only Result.Valuations differs in magnitude (see its doc comment), which
-// is the point: the engine performs strictly fewer valuation computations.
+// The allocations, round count, and payments are bit-identical to Solve's
+// for every worker count; only Result.Valuations differs in magnitude (see
+// its doc comment), which is the point: the engine performs strictly fewer
+// valuation computations.
 //
 // The ExactDelta valuation is rejected: it needs the shared schema and is
 // served by Solve (the ablation path).
@@ -70,302 +70,63 @@ func SolveIncrementalFrom(ctx context.Context, base *replication.Schema, cfg Con
 	return solveIncrementalOn(ctx, base.Clone(), base.Placed() > 0, cfg)
 }
 
-// solveIncrementalOn owns schema and runs the event-driven mechanism on it.
-// warm selects schema-aware agent construction; the cold path keeps the
-// cheaper direct form (no NN lookups through the schema).
+// solveIncrementalOn owns schema and runs the event-driven mechanism on it:
+// arena construction (fanned out — servers are independent), then the round
+// loop over the kernel. The kernel never reads the schema; placements reach
+// it only through its own award/broadcast path, exactly as broadcasts reach
+// a remote server, and the schema stays the outcome bookkeeper.
 func solveIncrementalOn(ctx context.Context, schema *replication.Schema, warm bool, cfg Config) (*Result, error) {
 	p := schema.Problem()
 	res := &Result{Schema: schema, Payments: make([]int64, p.M)}
+	// Rounds typically run to a few replicas per server; presizing keeps the
+	// trace append out of the allocator for most solves.
+	res.Allocations = make([]Allocation, 0, 4*p.M)
 
-	// Agent construction is independent per agent; fan it out. Slots are
-	// disjoint, so no synchronization beyond the batch barrier is needed.
-	// Warm construction only reads the shared schema, never writes it.
-	built := make([]*heapAgent, p.M)
-	workers := pool.New(cfg.workers())
-	workers.Batch(p.M, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var a *heapAgent
-			if warm {
-				a = newHeapAgentOn(newAgentStateFrom(schema, i))
-			} else {
-				a = newHeapAgent(p, i)
-			}
-			if a.Len() > 0 {
-				built[i] = a
-			}
-		}
-	})
-	workers.Close()
-
-	// Seed the global bid heap. Keys are exact right after construction, so
-	// every agent's dominant bid is simply its heap top; count the pricing
-	// of each candidate exactly as Solve's first-round scan does.
-	bh := &bidHeap{entries: make([]*bidEntry, 0, p.M), byAgent: make([]*bidEntry, p.M)}
-	for _, a := range built {
-		if a == nil {
-			continue
-		}
-		res.Valuations += int64(a.Len())
-		e := &bidEntry{agent: a, obj: a.h[0].object, val: a.h[0].key, fresh: true}
-		bh.entries = append(bh.entries, e)
-		bh.byAgent[a.id] = e
+	workers := cfg.workers()
+	pl := pool.New(workers)
+	defer pl.Close()
+	var ar *candidates.Arena
+	if warm {
+		ar = candidates.BuildArenaFrom(schema, pl)
+	} else {
+		ar = candidates.BuildArena(p, pl)
 	}
-	heap.Init(bh)
+
+	// The shard count — and with it the exact refresh schedule and the
+	// Valuations count — is fixed by cfg.Workers alone; whether shards
+	// actually run on the pool additionally requires a multi-core runtime,
+	// and never affects any result field.
+	k := newKernel(p, ar, pl, workers, cfg.Payment, runtime.GOMAXPROCS(0) > 1)
+	res.Valuations += k.seedValuations()
 
 	for cfg.MaxRounds <= 0 || res.Rounds < cfg.MaxRounds {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("agtram: %w", err)
 		}
-		winner, second, ok := bh.settle(cfg.Payment, &res.Valuations)
+		winner, value, second, ok := k.settle(&res.Valuations)
 		if !ok {
 			break
 		}
 		payment := second
 		if cfg.Payment == mechanism.FirstPrice {
-			payment = winner.val
+			payment = value
 		}
-		if _, err := schema.PlaceReplica(winner.obj, winner.agent.id); err != nil {
+		obj := k.bidObj[winner]
+		if _, err := schema.PlaceReplica(obj, int(winner)); err != nil {
 			return nil, fmt.Errorf("agtram: winning bid infeasible: %w", err)
 		}
 		alloc := Allocation{
-			Round: res.Rounds, Object: winner.obj, Server: int32(winner.agent.id),
-			Value: winner.val, Payment: payment,
+			Round: res.Rounds, Object: obj, Server: winner,
+			Value: value, Payment: payment,
 		}
 		res.Allocations = append(res.Allocations, alloc)
-		res.Payments[winner.agent.id] += payment
+		res.Payments[winner] += payment
 		res.Rounds++
 		if cfg.OnRound != nil {
 			cfg.OnRound(alloc)
 		}
-
-		// BROADCAST OMAX, event-driven: the winner consumed capacity and
-		// retired the candidate, so its cached bid is stale; a demander's
-		// cached bid goes stale only when the broadcast lowered the price of
-		// the very object it was bidding on. All other cached bids remain
-		// exact — their bid candidate's benefit did not move, and every
-		// other candidate's benefit can only have fallen.
-		winner.agent.won(winner.obj)
-		winner.fresh = false
-		for _, ref := range p.DemandersOf(winner.obj) {
-			i := int(ref.Server)
-			if i == winner.agent.id {
-				continue
-			}
-			e := bh.byAgent[i]
-			if e == nil {
-				continue // agent already out of the game
-			}
-			if e.agent.observe(winner.obj, p.Cost.At(i, winner.agent.id)) && e.obj == winner.obj {
-				e.fresh = false
-			}
-		}
+		k.award(winner)
+		k.broadcast(obj, winner)
 	}
 	return res, nil
-}
-
-// hcand is a candidate plus its cached priority: the benefit at the last
-// pricing. The true benefit only shrinks, so key is always an upper bound.
-type hcand struct {
-	candidate
-	key int64
-}
-
-// heapAgent is an agent whose candidate list is a lazy max-heap ordered by
-// (cached benefit desc, object id asc) — the same dominance order as
-// agentState.best, so the exact top carries the same tie-break.
-type heapAgent struct {
-	id       int
-	residual int64
-	h        []hcand
-	pos      map[int32]int // object id -> index in h
-}
-
-// newHeapAgent builds the heap form of agent i's candidate list. Keys start
-// exact: newAgentState prices every candidate against the primary-only
-// placement, which is the state of round one.
-func newHeapAgent(p *replication.Problem, i int) *heapAgent {
-	return newHeapAgentOn(newAgentState(p, i))
-}
-
-// newHeapAgentOn lifts an already-priced agent state into heap form. Keys
-// start exact because the state was priced against the solve's start
-// placement, which is the state of round one (primary-only for the cold
-// path, the carried placement for warm re-solves).
-func newHeapAgentOn(base *agentState) *heapAgent {
-	a := &heapAgent{
-		id:       base.id,
-		residual: base.residual,
-		h:        make([]hcand, len(base.cands)),
-		pos:      make(map[int32]int, len(base.cands)),
-	}
-	for j, c := range base.cands {
-		a.h[j] = hcand{candidate: c, key: c.benefit()}
-		a.pos[c.object] = j
-	}
-	heap.Init(a)
-	return a
-}
-
-func (a *heapAgent) Len() int { return len(a.h) }
-func (a *heapAgent) Less(i, j int) bool {
-	if a.h[i].key != a.h[j].key {
-		return a.h[i].key > a.h[j].key
-	}
-	return a.h[i].object < a.h[j].object
-}
-func (a *heapAgent) Swap(i, j int) {
-	a.h[i], a.h[j] = a.h[j], a.h[i]
-	a.pos[a.h[i].object] = i
-	a.pos[a.h[j].object] = j
-}
-func (a *heapAgent) Push(x interface{}) {
-	c := x.(hcand)
-	a.pos[c.object] = len(a.h)
-	a.h = append(a.h, c)
-}
-func (a *heapAgent) Pop() interface{} {
-	n := len(a.h)
-	c := a.h[n-1]
-	a.h = a.h[:n-1]
-	delete(a.pos, c.object)
-	return c
-}
-
-// best returns the agent's exact dominant bid, re-pricing lazily: only
-// candidates that reach the heap top are touched, and candidates pruned by
-// capacity or non-positive benefit leave permanently (both conditions are
-// monotone). evals counts the benefit computations performed.
-func (a *heapAgent) best(evals *int64) (obj int32, value int64, ok bool) {
-	for len(a.h) > 0 {
-		top := &a.h[0]
-		if top.size > a.residual {
-			heap.Pop(a) // prune: residual only shrinks
-			continue
-		}
-		b := top.benefit()
-		*evals++
-		if b <= 0 {
-			heap.Pop(a) // prune: benefit only shrinks
-			continue
-		}
-		if b < top.key {
-			top.key = b
-			heap.Fix(a, 0)
-			continue
-		}
-		// key == b: the cached upper bound is tight, so this candidate
-		// dominates every other cached (hence true) benefit.
-		return top.object, b, true
-	}
-	return 0, 0, false
-}
-
-// observe processes a broadcast: if the new replica of k is closer than the
-// agent's cached nearest neighbor, the candidate's nnCost drops (its heap
-// key intentionally stays put as a stale upper bound). Reports whether the
-// candidate's benefit actually changed.
-func (a *heapAgent) observe(k int32, cost int32) bool {
-	i, here := a.pos[k]
-	if !here || cost >= a.h[i].nnCost {
-		return false
-	}
-	a.h[i].nnCost = cost
-	return true
-}
-
-// won retires the awarded candidate and consumes capacity.
-func (a *heapAgent) won(k int32) {
-	if i, here := a.pos[k]; here {
-		a.residual -= a.h[i].size
-		heap.Remove(a, i)
-	}
-}
-
-// bidEntry is one agent's cached dominant bid in the global heap. fresh
-// records whether (obj, val) is the agent's exact current best; a stale val
-// is always an upper bound on it.
-type bidEntry struct {
-	agent *heapAgent
-	obj   int32
-	val   int64
-	fresh bool
-}
-
-// bidHeap orders cached bids by (value desc, agent id asc) — exactly
-// mechanism.RunRound's winner rule, so a fresh top is the exact winner.
-type bidHeap struct {
-	entries []*bidEntry
-	byAgent []*bidEntry // agent id -> live entry, nil once retired
-}
-
-func (h *bidHeap) Len() int { return len(h.entries) }
-func (h *bidHeap) Less(i, j int) bool {
-	if h.entries[i].val != h.entries[j].val {
-		return h.entries[i].val > h.entries[j].val
-	}
-	return h.entries[i].agent.id < h.entries[j].agent.id
-}
-func (h *bidHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *bidHeap) Push(x interface{}) {
-	h.entries = append(h.entries, x.(*bidEntry))
-}
-func (h *bidHeap) Pop() interface{} {
-	n := len(h.entries)
-	e := h.entries[n-1]
-	h.entries = h.entries[:n-1]
-	return e
-}
-
-// refresh re-prices the agent at heap index i. Agents left without a
-// beneficial feasible candidate leave the game (Figure 2, line 18).
-func (h *bidHeap) refresh(i int, evals *int64) {
-	e := h.entries[i]
-	obj, val, ok := e.agent.best(evals)
-	if !ok {
-		heap.Remove(h, i)
-		h.byAgent[e.agent.id] = nil
-		return
-	}
-	e.obj, e.val, e.fresh = obj, val, true
-	heap.Fix(h, i)
-}
-
-// settle drives the lazy heap to a provably exact round outcome: the winner
-// (top of heap, once fresh) and, under second-price, the exact second-best
-// report. The runner-up must be refreshed too — its cached value is an
-// upper bound, and paying it unrefreshed would overstate the Vickrey
-// payment. Refreshes only lower values, so a settled top stays on top
-// unless a refreshed runner-up ties it with a lower agent id — in which
-// case the heap reorders and the new top is the correct winner under
-// RunRound's tie-break.
-func (h *bidHeap) settle(rule mechanism.PaymentRule, evals *int64) (winner *bidEntry, second int64, ok bool) {
-	for {
-		if h.Len() == 0 {
-			return nil, 0, false
-		}
-		top := h.entries[0]
-		if !top.fresh {
-			h.refresh(0, evals)
-			continue
-		}
-		if rule == mechanism.FirstPrice {
-			return top, 0, true // payment is the winner's own report
-		}
-		if h.Len() == 1 {
-			return top, 0, true // a lone bidder is paid 0
-		}
-		// The second-best cached bid is the larger of the root's children.
-		si := 1
-		if h.Len() > 2 && h.Less(2, 1) {
-			si = 2
-		}
-		runner := h.entries[si]
-		if !runner.fresh {
-			h.refresh(si, evals)
-			continue
-		}
-		// Both fresh: every other entry's cached value (an upper bound on
-		// its true value) is <= runner.val by the heap property.
-		return top, runner.val, true
-	}
 }

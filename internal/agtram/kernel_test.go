@@ -1,0 +1,115 @@
+package agtram
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/mechanism"
+	"repro/internal/pool"
+	"repro/internal/testutil"
+)
+
+// forceParallelKernel drops the dispatch thresholds to zero and raises
+// GOMAXPROCS so the kernel's pool paths run even on small instances and
+// single-core test machines. Restores everything on cleanup.
+func forceParallelKernel(t *testing.T) {
+	t.Helper()
+	prevSettle, prevObserve := settleParallelThreshold, observeParallelThreshold
+	prevProcs := runtime.GOMAXPROCS(4)
+	settleParallelThreshold, observeParallelThreshold = 0, 0
+	t.Cleanup(func() {
+		settleParallelThreshold, observeParallelThreshold = prevSettle, prevObserve
+		runtime.GOMAXPROCS(prevProcs)
+	})
+}
+
+// TestDifferentialEnginesParallel is the parallel-kernel half of
+// TestDifferentialEngines: for every seed and every worker count the
+// incremental engine — with the pool paths forced on — must reproduce the
+// synchronous engine's allocations, payments, round count, and final OTC
+// bit for bit. Run under -race this doubles as the data-race proof of the
+// sharded settle and the broadcast fan-out.
+func TestDifferentialEnginesParallel(t *testing.T) {
+	forceParallelKernel(t)
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := testutil.InstanceConfig{
+			Servers:         10 + int(seed%5)*4,
+			Objects:         40 + int(seed%3)*30,
+			Requests:        3000 + int(seed)*500,
+			RWRatio:         0.75 + float64(seed%4)*0.05,
+			CapacityPercent: 20 + float64(seed%3)*10,
+			EdgeP:           0.35,
+			Seed:            seed,
+		}
+		sync, err := Solve(context.Background(), testutil.MustBuild(cfg), Config{})
+		if err != nil {
+			t.Fatalf("seed %d: sync: %v", seed, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			inc, err := SolveIncremental(context.Background(), testutil.MustBuild(cfg), Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			assertIdenticalRuns(t, seed, sync, inc)
+			if err := inc.Schema.ValidateInvariants(); err != nil {
+				t.Fatalf("seed %d workers %d: invariants: %v", seed, workers, err)
+			}
+		}
+	}
+}
+
+// TestWarmParallelEquivalence: the warm re-solve path through the parallel
+// kernel matches its serial twin exactly, including from a drifted placement.
+func TestWarmParallelEquivalence(t *testing.T) {
+	forceParallelKernel(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		p := testutil.MustBuild(testutil.Medium(seed))
+		base, err := SolveIncremental(context.Background(), p, Config{MaxRounds: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := SolveIncrementalFrom(context.Background(), base.Schema, Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := SolveIncrementalFrom(context.Background(), base.Schema, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalRuns(t, seed, serial, par)
+	}
+}
+
+// TestKernelZeroAllocRounds is the flat-arena claim, enforced: once the
+// arena and kernel are built, a steady-state round — settle, award,
+// broadcast — performs zero heap allocations, for one shard and for many.
+func TestKernelZeroAllocRounds(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	p := testutil.MustBuild(testutil.Medium(7))
+	for _, workers := range []int{1, 4} {
+		pl := pool.New(1) // inline vehicle; shard logic still splits by workers
+		ar := candidates.BuildArena(p, pl)
+		k := newKernel(p, ar, pl, workers, mechanism.SecondPrice, false)
+		var valuations int64
+		// Warm up one round, then measure several: every steady-state round
+		// must stay out of the allocator entirely.
+		round := func() {
+			winner, _, _, ok := k.settle(&valuations)
+			if !ok {
+				t.Fatalf("workers %d: auction ended before the measured rounds", workers)
+			}
+			obj := k.bidObj[winner]
+			k.award(winner)
+			k.broadcast(obj, winner)
+		}
+		round()
+		if avg := testing.AllocsPerRun(20, round); avg != 0 {
+			t.Fatalf("workers %d: %v allocs per steady-state round, want 0", workers, avg)
+		}
+		pl.Close()
+	}
+}

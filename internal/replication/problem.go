@@ -32,6 +32,27 @@ type CostFn interface {
 	N() int
 }
 
+// RowCostFn is an optional CostFn fast path: a symmetric cost oracle whose
+// rows are stored contiguously exposes Row(i), the shared slice of costs
+// c(i, ·) — which, by symmetry, is also the column c(·, i). Hot
+// per-demander walks index the slice directly instead of paying a virtual
+// At call per server. topology.DistMatrix implements it (its symmetry is a
+// validated metric invariant); asymmetric oracles must not.
+type RowCostFn interface {
+	CostFn
+	Row(i int) []int32
+}
+
+// CostColumn returns the cost column c(·, m) as a shared slice when the
+// oracle supports it, nil otherwise. Callers must keep an At-based fallback
+// and must not mutate the slice.
+func (p *Problem) CostColumn(m int) []int32 {
+	if rc, ok := p.Cost.(RowCostFn); ok {
+		return rc.Row(m)
+	}
+	return nil
+}
+
 // Problem is an immutable DRP instance.
 type Problem struct {
 	M, N     int
@@ -44,14 +65,23 @@ type Problem struct {
 	byObject [][]DemandRef
 	// primaryLoad is Σ_{k: P_k = i} o_k per server.
 	primaryLoad []int64
+	// cellBase[i] is the global id of server i's first demand cell; len M+1.
+	// Flat per-cell tables (the schema's NN tables, the arena's slot map)
+	// index with CellBase[i]+slot instead of nested slices.
+	cellBase []int32
+	// cellReads[cell] caches Work.PerServer[i][slot].Reads so the placement
+	// hot loop reads one flat slice instead of chasing the nested workload.
+	cellReads []int64
 }
 
 // DemandRef locates one demand cell: Work.PerServer[Server][Slot]. The
 // per-object index of these refs is what lets solvers touch only the
-// demanders of a placed object instead of rescanning every agent.
+// demanders of a placed object instead of rescanning every agent. Cell is
+// the same cell's precomputed global id, CellBase()[Server]+Slot.
 type DemandRef struct {
 	Server int32
 	Slot   int32 // index into Work.PerServer[Server]
+	Cell   int32 // global demand-cell id
 }
 
 // NewProblem validates and indexes a DRP instance. The capacity slice must
@@ -78,17 +108,37 @@ func NewProblem(cost CostFn, w *workload.Workload, capacity []int64) (*Problem, 
 	for k := 0; k < w.N; k++ {
 		p.primaryLoad[w.Primary[k]] += w.ObjectSize[k]
 	}
+	p.cellBase = make([]int32, w.M+1)
+	var cells int32
+	for i := 0; i < w.M; i++ {
+		p.cellBase[i] = cells
+		cells += int32(len(w.PerServer[i]))
+	}
+	p.cellBase[w.M] = cells
+	p.cellReads = make([]int64, cells)
 	for i := 0; i < w.M; i++ {
 		if capacity[i] < p.primaryLoad[i] {
 			return nil, fmt.Errorf("replication: server %d capacity %d below its primary load %d",
 				i, capacity[i], p.primaryLoad[i])
 		}
+		base := p.cellBase[i]
 		for slot, d := range w.PerServer[i] {
-			p.byObject[d.Object] = append(p.byObject[d.Object], DemandRef{Server: int32(i), Slot: int32(slot)})
+			cell := base + int32(slot)
+			p.cellReads[cell] = d.Reads
+			p.byObject[d.Object] = append(p.byObject[d.Object],
+				DemandRef{Server: int32(i), Slot: int32(slot), Cell: cell})
 		}
 	}
 	return p, nil
 }
+
+// CellBase returns the demand-cell prefix table: server i's demand cells
+// occupy global ids [CellBase()[i], CellBase()[i+1]). The slice is shared;
+// callers must not mutate it.
+func (p *Problem) CellBase() []int32 { return p.cellBase }
+
+// Cells reports the total number of demand cells across all servers.
+func (p *Problem) Cells() int { return len(p.cellReads) }
 
 // PrimaryLoad reports the storage consumed on server i by primary copies.
 func (p *Problem) PrimaryLoad(i int) int64 { return p.primaryLoad[i] }

@@ -30,7 +30,7 @@ func (s *Schema) Breakdown() Breakdown {
 			ok := p.Work.ObjectSize[k]
 			pk := int(p.Work.Primary[k])
 			if d.Reads > 0 {
-				b.ReadCost += d.Reads * ok * int64(s.nnCost[i][slot])
+				b.ReadCost += d.Reads * ok * int64(s.nnCost[p.cellBase[i]+int32(slot)])
 			}
 			if d.Writes > 0 {
 				b.ShipCost += d.Writes * ok * int64(p.Cost.At(i, pk))

@@ -13,13 +13,16 @@ type Schema struct {
 	p *Problem
 
 	replicas [][]int32 // per object: sorted server ids holding a copy (incl. primary)
-	nnCost   [][]int32 // per server: c(i, NN_ik), parallel to Work.PerServer[i]
-	nnServer [][]int32 // per server: NN_ik, parallel to Work.PerServer[i]
-	sumBcast []int64   // S_k = Σ_{j∈R_k} c(P_k, j)
-	residual []int64   // remaining capacity per server
-	cost     int64     // current total OTC, maintained incrementally
-	baseCost int64     // OTC of the primary-only placement
-	placed   int       // replicas placed beyond primaries
+	// NN tables, flat and indexed by global demand-cell id (Problem.cellBase):
+	// one contiguous array each instead of M row slices, so the placement
+	// hot loop does a single load per demander.
+	nnCost   []int32 // c(i, NN_ik) per demand cell
+	nnServer []int32 // NN_ik per demand cell
+	sumBcast []int64 // S_k = Σ_{j∈R_k} c(P_k, j)
+	residual []int64 // remaining capacity per server
+	cost     int64   // current total OTC, maintained incrementally
+	baseCost int64   // OTC of the primary-only placement
+	placed   int     // replicas placed beyond primaries
 }
 
 // NewSchema returns the primary-copies-only placement.
@@ -27,23 +30,27 @@ func (p *Problem) NewSchema() *Schema {
 	s := &Schema{
 		p:        p,
 		replicas: make([][]int32, p.N),
-		nnCost:   make([][]int32, p.M),
-		nnServer: make([][]int32, p.M),
+		nnCost:   make([]int32, p.Cells()),
+		nnServer: make([]int32, p.Cells()),
 		sumBcast: make([]int64, p.N),
 		residual: make([]int64, p.M),
 	}
+	// One backing array for the N replica lists instead of N tiny
+	// allocations. Each list gets room for a primary plus three replicas —
+	// enough for the typical placement — before its first grow-copy; the
+	// full-slice expression walls lists off from their neighbors.
+	backing := make([]int32, 4*p.N)
 	for k := 0; k < p.N; k++ {
-		s.replicas[k] = []int32{p.Work.Primary[k]}
+		backing[4*k] = p.Work.Primary[k]
+		s.replicas[k] = backing[4*k : 4*k+1 : 4*k+4]
 	}
 	for i := 0; i < p.M; i++ {
 		s.residual[i] = p.Capacity[i] - p.primaryLoad[i]
-		ds := p.Work.PerServer[i]
-		s.nnCost[i] = make([]int32, len(ds))
-		s.nnServer[i] = make([]int32, len(ds))
-		for j, d := range ds {
+		base := p.cellBase[i]
+		for j, d := range p.Work.PerServer[i] {
 			pk := p.Work.Primary[d.Object]
-			s.nnServer[i][j] = pk
-			s.nnCost[i][j] = p.Cost.At(i, int(pk))
+			s.nnServer[base+int32(j)] = pk
+			s.nnCost[base+int32(j)] = p.Cost.At(i, int(pk))
 		}
 	}
 	s.baseCost = s.RecomputeCost()
@@ -90,7 +97,7 @@ func (s *Schema) HasReplica(k int32, m int) bool {
 // without demand on k it is computed on the fly.
 func (s *Schema) NN(i int, k int32) int32 {
 	if slot, ok := s.demandSlot(i, k); ok {
-		return s.nnServer[i][slot]
+		return s.nnServer[s.p.cellBase[i]+int32(slot)]
 	}
 	best, bestCost := s.replicas[k][0], s.p.Cost.At(i, int(s.replicas[k][0]))
 	for _, j := range s.replicas[k][1:] {
@@ -147,14 +154,14 @@ func (s *Schema) DeltaIfPlaced(k int32, m int) int64 {
 
 	// Read side: every demander whose NN cost exceeds c(i, m) improves.
 	for _, ref := range p.byObject[k] {
-		d := p.Work.PerServer[ref.Server][ref.Slot]
-		if d.Reads == 0 {
+		r := p.cellReads[ref.Cell]
+		if r == 0 {
 			continue
 		}
-		oldC := int64(s.nnCost[ref.Server][ref.Slot])
+		oldC := int64(s.nnCost[ref.Cell])
 		newC := int64(p.Cost.At(int(ref.Server), m))
 		if newC < oldC {
-			delta += d.Reads * ok * (newC - oldC)
+			delta += r * ok * (newC - oldC)
 		}
 	}
 	return delta
@@ -181,7 +188,7 @@ func (s *Schema) LocalBenefit(i int, k int32) int64 {
 	if ok {
 		d := s.p.Work.PerServer[i][slot]
 		reads = d.Reads
-		oldC = int64(s.nnCost[i][slot])
+		oldC = int64(s.nnCost[s.p.cellBase[i]+int32(slot)])
 	} else {
 		oldC = int64(s.p.Cost.At(i, int(s.NN(i, k))))
 	}
@@ -212,16 +219,30 @@ func (s *Schema) applyPlacement(k int32, m int) int64 {
 	wm, _ := s.writeOf(m, k)
 	delta := ok * cPm * (p.Work.TotalWrites[k] - wm)
 
-	for _, ref := range p.byObject[k] {
-		i := int(ref.Server)
-		d := p.Work.PerServer[i][ref.Slot]
-		newC := p.Cost.At(i, m)
-		if newC < s.nnCost[i][ref.Slot] {
-			if d.Reads > 0 {
-				delta += d.Reads * ok * int64(newC-s.nnCost[i][ref.Slot])
+	// The demander walk is the placement's hot loop; with a row-view oracle
+	// the per-demander cost is one slice load instead of a virtual call, and
+	// the flat cell-indexed NN tables make the update a single store.
+	if col := p.CostColumn(m); col != nil {
+		for _, ref := range p.byObject[k] {
+			newC := col[ref.Server]
+			if newC < s.nnCost[ref.Cell] {
+				if r := p.cellReads[ref.Cell]; r > 0 {
+					delta += r * ok * int64(newC-s.nnCost[ref.Cell])
+				}
+				s.nnCost[ref.Cell] = newC
+				s.nnServer[ref.Cell] = int32(m)
 			}
-			s.nnCost[i][ref.Slot] = newC
-			s.nnServer[i][ref.Slot] = int32(m)
+		}
+	} else {
+		for _, ref := range p.byObject[k] {
+			newC := p.Cost.At(int(ref.Server), m)
+			if newC < s.nnCost[ref.Cell] {
+				if r := p.cellReads[ref.Cell]; r > 0 {
+					delta += r * ok * int64(newC-s.nnCost[ref.Cell])
+				}
+				s.nnCost[ref.Cell] = newC
+				s.nnServer[ref.Cell] = int32(m)
+			}
 		}
 	}
 
@@ -286,7 +307,7 @@ func (s *Schema) RemoveReplica(k int32, m int) (int64, error) {
 	// Read side: demanders whose nearest replica was m rescan.
 	for _, ref := range p.byObject[k] {
 		i := int(ref.Server)
-		if s.nnServer[i][ref.Slot] != int32(m) {
+		if s.nnServer[ref.Cell] != int32(m) {
 			continue
 		}
 		best, bestCost := s.replicas[k][0], p.Cost.At(i, int(s.replicas[k][0]))
@@ -295,12 +316,11 @@ func (s *Schema) RemoveReplica(k int32, m int) (int64, error) {
 				best, bestCost = j, c
 			}
 		}
-		d := p.Work.PerServer[i][ref.Slot]
-		if d.Reads > 0 {
-			delta += d.Reads * ok * int64(bestCost-s.nnCost[i][ref.Slot])
+		if r := p.cellReads[ref.Cell]; r > 0 {
+			delta += r * ok * int64(bestCost-s.nnCost[ref.Cell])
 		}
-		s.nnServer[i][ref.Slot] = best
-		s.nnCost[i][ref.Slot] = bestCost
+		s.nnServer[ref.Cell] = best
+		s.nnCost[ref.Cell] = bestCost
 	}
 
 	s.sumBcast[k] -= cPm
@@ -321,7 +341,7 @@ func (s *Schema) DeltaIfRemoved(k int32, m int) int64 {
 	delta := -ok * cPm * (p.Work.TotalWrites[k] - wm)
 	for _, ref := range p.byObject[k] {
 		i := int(ref.Server)
-		if s.nnServer[i][ref.Slot] != int32(m) {
+		if s.nnServer[ref.Cell] != int32(m) {
 			continue
 		}
 		best := Infinity32
@@ -333,9 +353,8 @@ func (s *Schema) DeltaIfRemoved(k int32, m int) int64 {
 				best = c
 			}
 		}
-		d := p.Work.PerServer[i][ref.Slot]
-		if d.Reads > 0 {
-			delta += d.Reads * ok * int64(best-s.nnCost[i][ref.Slot])
+		if r := p.cellReads[ref.Cell]; r > 0 {
+			delta += r * ok * int64(best-s.nnCost[ref.Cell])
 		}
 	}
 	return delta
@@ -383,8 +402,8 @@ func (s *Schema) Clone() *Schema {
 	c := &Schema{
 		p:        s.p,
 		replicas: make([][]int32, len(s.replicas)),
-		nnCost:   make([][]int32, len(s.nnCost)),
-		nnServer: make([][]int32, len(s.nnServer)),
+		nnCost:   append([]int32(nil), s.nnCost...),
+		nnServer: append([]int32(nil), s.nnServer...),
 		sumBcast: append([]int64(nil), s.sumBcast...),
 		residual: append([]int64(nil), s.residual...),
 		cost:     s.cost,
@@ -393,10 +412,6 @@ func (s *Schema) Clone() *Schema {
 	}
 	for k := range s.replicas {
 		c.replicas[k] = append([]int32(nil), s.replicas[k]...)
-	}
-	for i := range s.nnCost {
-		c.nnCost[i] = append([]int32(nil), s.nnCost[i]...)
-		c.nnServer[i] = append([]int32(nil), s.nnServer[i]...)
 	}
 	return c
 }
@@ -442,6 +457,7 @@ func (s *Schema) ValidateInvariants() error {
 	}
 	// NN tables must point at true nearest replicators.
 	for i := 0; i < s.p.M; i++ {
+		base := s.p.cellBase[i]
 		for slot, d := range s.p.Work.PerServer[i] {
 			best := int32(Infinity32)
 			for _, j := range s.replicas[d.Object] {
@@ -449,9 +465,9 @@ func (s *Schema) ValidateInvariants() error {
 					best = c
 				}
 			}
-			if s.nnCost[i][slot] != best {
+			if s.nnCost[base+int32(slot)] != best {
 				return fmt.Errorf("replication: NN cost stale for server %d object %d: have %d want %d",
-					i, d.Object, s.nnCost[i][slot], best)
+					i, d.Object, s.nnCost[base+int32(slot)], best)
 			}
 		}
 	}

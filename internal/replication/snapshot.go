@@ -18,6 +18,8 @@ func (p *Problem) Snapshot() *Problem {
 		Capacity:    append([]int64(nil), p.Capacity...),
 		byObject:    make([][]DemandRef, len(p.byObject)),
 		primaryLoad: append([]int64(nil), p.primaryLoad...),
+		cellBase:    append([]int32(nil), p.cellBase...),
+		cellReads:   append([]int64(nil), p.cellReads...),
 	}
 	for k, refs := range p.byObject {
 		np.byObject[k] = append([]DemandRef(nil), refs...)
