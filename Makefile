@@ -36,14 +36,17 @@ bench:
 # Machine-readable engine benchmarks: the six-method comparison
 # (BenchmarkSolve) plus the AGT-RAM engine comparison at Table-1 scale
 # (M=48), M=500 and M=1000 — including the incremental kernel's
-# w1/w2/w4/w8 worker sweep — parsed into a JSON artifact (BENCH_*.json,
-# CI regression gate). Tune with
+# w1/w2/w4/w8 worker sweep — the distance-oracle micro-benchmarks and the
+# dense/CSR/landmark solve matrix at M=1k and (BENCH_M10K=1, set here)
+# M=10k with its rss-MiB peak-memory column — parsed into a JSON artifact
+# (BENCH_*.json, CI regression gate). Tune with
 #   make bench-json BENCH_PATTERN='AGTRAMEnginesLarge' BENCHTIME=10x BENCH_OUT=pr.json
-BENCH_PATTERN ?= AGTRAMEngines|Solve$$
+BENCH_PATTERN ?= AGTRAMEngines|Solve$$|DistOracle
 BENCHTIME ?= 5x
 BENCH_OUT ?= BENCH.json
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCHTIME) . > bench.out
+	BENCH_M10K=1 $(GO) test -run '^$$' -bench 'OracleSolve/M10k' -benchmem -benchtime 1x . >> bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
 	@rm -f bench.out

@@ -172,8 +172,8 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("instance: M=%d N=%d requests=%d R/W=%.2f C=%.0f%% topology=%s seed=%d\n",
-		icfg.Servers, icfg.Objects, icfg.Requests, icfg.RWRatio, icfg.CapacityPercent, icfg.Topology, icfg.Seed)
+	fmt.Printf("instance: M=%d N=%d requests=%d R/W=%.2f C=%.0f%% topology=%s oracle=%s seed=%d\n",
+		icfg.Servers, icfg.Objects, icfg.Requests, icfg.RWRatio, icfg.CapacityPercent, icfg.Topology, in.OracleKind(), icfg.Seed)
 	fmt.Printf("method:   %s", bench.MethodLabel(res.Method))
 	if res.Method == repro.AGTRAM {
 		fmt.Printf(" (%s engine)", eng.Engine)

@@ -188,13 +188,14 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, e
 	}
 
 	fmt.Fprintf(w, "### Benchmark comparison (threshold %.0f%% ns/op)\n\n", threshold)
-	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | Δ allocs/op |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | Δ allocs/op | RSS MiB |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|")
 	regressions := 0
 	for _, nb := range newArt.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok || ob.NsPerOp == 0 {
-			fmt.Fprintf(w, "| %s | — | %s | new | |\n", nb.Name, fmtNs(nb.NsPerOp))
+			fmt.Fprintf(w, "| %s | — | %s | new | | %s |\n",
+				nb.Name, fmtNs(nb.NsPerOp), fmtRSSDelta(0, nb.Metrics["rss-MiB"]))
 			continue
 		}
 		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
@@ -203,9 +204,10 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, e
 			regressions++
 			mark = " ⚠️"
 		}
-		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s |\n",
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s | %s |\n",
 			nb.Name, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta, mark,
-			fmtAllocDelta(ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]))
+			fmtAllocDelta(ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]),
+			fmtRSSDelta(ob.Metrics["rss-MiB"], nb.Metrics["rss-MiB"]))
 	}
 	fmt.Fprintln(w)
 	if regressions > 0 {
@@ -232,4 +234,18 @@ func fmtAllocDelta(oldA, newA float64) string {
 		return ""
 	}
 	return fmt.Sprintf("%.0f → %.0f", oldA, newA)
+}
+
+// fmtRSSDelta renders the peak-memory trajectory column from the "rss-MiB"
+// metric the oracle solve benchmarks report (process VmHWM, so the value is
+// monotone within one bench run; absolute levels compare across artifacts).
+func fmtRSSDelta(oldR, newR float64) string {
+	switch {
+	case oldR == 0 && newR == 0:
+		return ""
+	case oldR == 0:
+		return fmt.Sprintf("%.0f", newR)
+	default:
+		return fmt.Sprintf("%.0f → %.0f", oldR, newR)
+	}
 }

@@ -24,6 +24,9 @@ type Instance struct {
 	Capacity       float64
 	Topology       string
 	EdgeP          float64
+	Oracle         string
+	Landmarks      int
+	RowCache       int
 	Seed           int64
 }
 
@@ -36,8 +39,11 @@ func AddInstance(fs *flag.FlagSet) *Instance {
 	fs.IntVar(&c.Requests, "requests", 0, "total request volume (default 60 per object)")
 	fs.Float64Var(&c.RW, "rw", 0.9, "read share of the request volume, in (0,1]")
 	fs.Float64Var(&c.Capacity, "capacity", 25, "server capacity parameter C%")
-	fs.StringVar(&c.Topology, "topology", "random", "topology: random|waxman|powerlaw|transitstub")
+	fs.StringVar(&c.Topology, "topology", "random", "topology: random|waxman|powerlaw|transitstub|tree|grid")
 	fs.Float64Var(&c.EdgeP, "p", 0.4, "edge probability for the random topology")
+	fs.StringVar(&c.Oracle, "oracle", "auto", "distance oracle: auto|dense|csr|landmark|tree (landmark is approximate)")
+	fs.IntVar(&c.Landmarks, "landmarks", 0, "landmark count K for -oracle landmark (0 = default; K = M is exact)")
+	fs.IntVar(&c.RowCache, "row-cache", 0, "cached distance rows for -oracle csr (0 = default)")
 	fs.Int64Var(&c.Seed, "seed", 1, "experiment seed")
 	return c
 }
@@ -57,6 +63,9 @@ func (c *Instance) Config() repro.InstanceConfig {
 		CapacityPercent: c.Capacity,
 		Topology:        repro.TopologyKind(c.Topology),
 		EdgeP:           c.EdgeP,
+		Oracle:          c.Oracle,
+		Landmarks:       c.Landmarks,
+		RowCacheRows:    c.RowCache,
 		Seed:            c.Seed,
 	}
 }

@@ -60,6 +60,7 @@ var experiments = []experiment{
 	{"ablation-payment", bench.AblationPayment},
 	{"ablation-valuation", bench.AblationValuation},
 	{"ablation-engine", bench.AblationEngine},
+	{"ablation-oracle", bench.AblationOracle},
 }
 
 func main() {

@@ -1,12 +1,14 @@
 // Command topogen generates the network topologies of the paper's
 // experimental setup and reports their structural statistics: node/edge
-// counts, degree distribution, and the all-pairs communication-cost
-// distribution c(i,j) that feeds the DRP.
+// counts, degree distribution, and the communication-cost distribution
+// c(i,j) that feeds the DRP — computed through a selectable distance
+// oracle so statistics stay affordable past the dense O(n²) wall.
 //
 // Usage:
 //
 //	topogen -kind random -n 200 -p 0.4
 //	topogen -kind powerlaw -n 3718 -m 2
+//	topogen -kind tree -n 10000 -oracle tree
 //	topogen -kind transitstub -domains 4 -transit 4 -stubs 2 -stubsize 3
 package main
 
@@ -15,25 +17,32 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/distoracle"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
+// sampleSources bounds how many source rows feed the c(i,j) statistics
+// when the oracle is not a fully materialized dense matrix.
+const sampleSources = 64
+
 func main() {
 	var (
-		kind     = flag.String("kind", "random", "random|waxman|powerlaw|transitstub|ring|grid")
-		n        = flag.Int("n", 200, "node count (random/waxman/powerlaw/ring)")
-		p        = flag.Float64("p", 0.4, "edge probability (random) / alpha (waxman)")
-		beta     = flag.Float64("beta", 0.3, "waxman beta")
-		mAttach  = flag.Int("m", 2, "attachments per node (powerlaw)")
-		domains  = flag.Int("domains", 4, "transit domains (transitstub)")
-		transit  = flag.Int("transit", 4, "nodes per transit domain")
-		stubs    = flag.Int("stubs", 2, "stub domains per transit node")
-		stubsize = flag.Int("stubsize", 3, "nodes per stub domain")
-		rows     = flag.Int("rows", 10, "grid rows")
-		cols     = flag.Int("cols", 10, "grid cols")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		workers  = flag.Int("workers", 0, "APSP workers (0 = GOMAXPROCS)")
+		kind      = flag.String("kind", "random", "random|waxman|powerlaw|transitstub|tree|ring|grid")
+		n         = flag.Int("n", 200, "node count (random/waxman/powerlaw/tree/ring)")
+		p         = flag.Float64("p", 0.4, "edge probability (random) / alpha (waxman)")
+		beta      = flag.Float64("beta", 0.3, "waxman beta")
+		mAttach   = flag.Int("m", 2, "attachments per node (powerlaw)")
+		domains   = flag.Int("domains", 4, "transit domains (transitstub)")
+		transit   = flag.Int("transit", 4, "nodes per transit domain")
+		stubs     = flag.Int("stubs", 2, "stub domains per transit node")
+		stubsize  = flag.Int("stubsize", 3, "nodes per stub domain")
+		rows      = flag.Int("rows", 10, "grid rows")
+		cols      = flag.Int("cols", 10, "grid cols")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		workers   = flag.Int("workers", 0, "shortest-path workers (0 = GOMAXPROCS)")
+		oracle    = flag.String("oracle", "auto", "distance oracle for the c(i,j) stats: auto|dense|csr|landmark|tree")
+		landmarks = flag.Int("landmarks", 0, "landmark count K for -oracle landmark (0 = default)")
 	)
 	flag.Parse()
 
@@ -57,6 +66,8 @@ func main() {
 			StubSize:        *stubsize,
 			IntraP:          0.4,
 		}, r)
+	case "tree":
+		g, err = topology.RandomTree(*n, topology.DefaultWeights, r)
 	case "ring":
 		g = topology.Ring(*n)
 	case "grid":
@@ -82,15 +93,58 @@ func main() {
 	}
 	fmt.Printf("degree:    %s\n", stats.Summarize(degs))
 
-	dist := topology.AllPairs(g, *workers)
+	mode, err := distoracle.ParseMode(*oracle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(2)
+	}
+	cost, err := distoracle.Build(g, distoracle.Options{
+		Mode:      mode,
+		Landmarks: *landmarks,
+		Workers:   *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("oracle:    %s\n", distoracle.Kind(cost))
+
+	if dist, ok := cost.(*topology.DistMatrix); ok {
+		// Dense matrix in hand: exact distribution over every pair.
+		var costs []float64
+		for i := 0; i < g.N(); i++ {
+			for j := i + 1; j < g.N(); j++ {
+				if c := dist.At(i, j); c != topology.Infinity {
+					costs = append(costs, float64(c))
+				}
+			}
+		}
+		fmt.Printf("c(i,j):    %s\n", stats.Summarize(costs))
+		fmt.Printf("diameter:  %d\n", dist.MaxFinite())
+		return
+	}
+	// Lazy/compact oracle: sample source rows instead of materializing
+	// the O(n²) matrix; the diameter becomes a lower bound.
+	srcs := sampleSources
+	if srcs > g.N() {
+		srcs = g.N()
+	}
+	perm := r.Perm(g.N())[:srcs]
 	var costs []float64
-	for i := 0; i < g.N(); i++ {
-		for j := i + 1; j < g.N(); j++ {
-			if c := dist.At(i, j); c != topology.Infinity {
+	var maxSeen int32
+	for _, s := range perm {
+		for j := 0; j < g.N(); j++ {
+			if j == s {
+				continue
+			}
+			if c := cost.At(s, j); c != topology.Infinity {
 				costs = append(costs, float64(c))
+				if c > maxSeen {
+					maxSeen = c
+				}
 			}
 		}
 	}
-	fmt.Printf("c(i,j):    %s\n", stats.Summarize(costs))
-	fmt.Printf("diameter:  %d\n", dist.MaxFinite())
+	fmt.Printf("c(i,j):    %s (sampled, %d source rows)\n", stats.Summarize(costs), srcs)
+	fmt.Printf("diameter:  >= %d (sampled)\n", maxSeen)
 }

@@ -278,3 +278,35 @@ func TestPipelineDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestAblationOracle(t *testing.T) {
+	tab, err := AblationOracle(context.Background(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 topologies x 2 scales)", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		dense, _ := tab.Value(i, "dense savings")
+		lm, _ := tab.Value(i, "landmark savings")
+		if dense <= 0 || lm <= 0 {
+			t.Fatalf("%s: non-positive savings %.2f/%.2f", row.Label, dense, lm)
+		}
+		// The landmark placement is re-costed under the exact metric; the
+		// acceptance bound is 5% of the exact savings, in either direction —
+		// AGT-RAM is a heuristic, so the approximate metric occasionally
+		// steers it to a marginally better placement.
+		if lm < dense*0.95 || lm > dense*1.05 {
+			t.Fatalf("%s: landmark savings %.2f outside 5%% of dense %.2f", row.Label, lm, dense)
+		}
+		// Landmark estimates never underestimate, so both stats are
+		// non-negative; p95 below the mean is legitimate (>95% exact pairs
+		// with a long tail), so the stats are not ordered against each other.
+		p95, _ := tab.Value(i, "p95 rel err")
+		mean, _ := tab.Value(i, "mean rel err")
+		if mean < 0 || p95 < 0 {
+			t.Fatalf("%s: negative error stats mean=%.4f p95=%.4f", row.Label, mean, p95)
+		}
+	}
+}

@@ -97,11 +97,12 @@ func buildArena(p *replication.Problem, s *replication.Schema, pl *pool.Pool) *A
 			}
 			a.Residual[i] = residual
 			// c(i, ·) doubles as c(·, i) on symmetric row-view oracles,
-			// pricing the whole demand list without virtual At calls.
-			var row []int32
-			if rc, ok := p.Cost.(replication.RowCostFn); ok {
-				row = rc.Row(i)
-			}
+			// pricing the whole demand list without virtual At calls. The
+			// row may be materialized lazily by the oracle on this call
+			// (distoracle.CSRLazy runs a Dijkstra per first touch, safe
+			// under this parallel fan-out); approximate oracles return nil
+			// here and the At fallback below prices per cell.
+			row := p.CostColumn(i)
 			base := a.SlotBase[i]
 			var n int32
 			for slot, d := range w.PerServer[i] {

@@ -1,0 +1,277 @@
+package distoracle
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// CSRLazy is an exact distance oracle that stores only the graph, in
+// compressed-sparse-row form, and materializes distance rows on demand with
+// Dijkstra. Finished rows live in a bounded LRU cache so solver re-pricing
+// passes that revisit the same servers hit memory instead of recomputing.
+//
+// Memory is O(E) for the CSR arrays plus O(cacheRows·M) for the cache —
+// versus O(M²) for the dense matrix. Concurrency: the mutex guards only
+// cache bookkeeping; Dijkstra runs outside it, so goroutines requesting
+// distinct rows compute in parallel, and an in-flight map deduplicates
+// goroutines racing for the same row. Evicted rows stay valid for callers
+// that already hold them (the GC reclaims them when the last reference
+// drops), which is what lets the arena and kernel keep lazily materialized
+// column slices across a solve.
+type CSRLazy struct {
+	n      int
+	rowPtr []int32 // len n+1; node u's edges are [rowPtr[u], rowPtr[u+1])
+	col    []int32 // edge target
+	wt     []int32 // edge weight
+	cap    int     // max cached rows
+
+	scratch sync.Pool // *csrScratch
+
+	mu       sync.Mutex
+	rows     map[int32]*list.Element // node -> LRU element holding *csrRow
+	lru      *list.List              // front = most recently used
+	inflight map[int32]chan struct{} // rows being computed right now
+
+	hits, misses, evictions int64 // guarded by mu
+}
+
+type csrRow struct {
+	node int32
+	dist []int32
+}
+
+// NewCSRLazy converts g to CSR form and returns an empty-cache oracle.
+// cacheRows bounds the LRU cache; <= 0 selects DefaultRowCacheRows.
+func NewCSRLazy(g *topology.Graph, cacheRows int) *CSRLazy {
+	if cacheRows <= 0 {
+		cacheRows = DefaultRowCacheRows
+	}
+	n := g.N()
+	c := &CSRLazy{
+		n:        n,
+		rowPtr:   make([]int32, n+1),
+		cap:      cacheRows,
+		rows:     make(map[int32]*list.Element, cacheRows),
+		lru:      list.New(),
+		inflight: make(map[int32]chan struct{}),
+	}
+	edges := 0
+	for u := 0; u < n; u++ {
+		edges += len(g.Neighbors(u))
+	}
+	c.col = make([]int32, edges)
+	c.wt = make([]int32, edges)
+	at := int32(0)
+	for u := 0; u < n; u++ {
+		c.rowPtr[u] = at
+		for _, e := range g.Neighbors(u) {
+			c.col[at] = e.To
+			c.wt[at] = e.Weight
+			at++
+		}
+	}
+	c.rowPtr[n] = at
+	c.scratch.New = func() interface{} {
+		return &csrScratch{
+			visited: make([]bool, n),
+			heap:    make([]int64, 0, 64),
+		}
+	}
+	return c
+}
+
+// N implements replication.CostFn.
+func (c *CSRLazy) N() int { return c.n }
+
+// At implements replication.CostFn. The diagonal short-circuits to zero and
+// either endpoint's cached row can answer (distances are symmetric), so
+// row-then-column access patterns like RecomputeCost never trigger one
+// Dijkstra per cell.
+func (c *CSRLazy) At(i, j int) int32 {
+	if i == j {
+		return 0
+	}
+	c.mu.Lock()
+	if e, ok := c.rows[int32(i)]; ok {
+		c.lru.MoveToFront(e)
+		v := e.Value.(*csrRow).dist[j]
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	if e, ok := c.rows[int32(j)]; ok {
+		c.lru.MoveToFront(e)
+		v := e.Value.(*csrRow).dist[i]
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	return c.Row(i)[j]
+}
+
+// Row implements replication.RowCostFn: the full distance row c(i, ·),
+// computed on first touch and cached. The returned slice is immutable and
+// remains valid after eviction.
+func (c *CSRLazy) Row(i int) []int32 {
+	key := int32(i)
+	c.mu.Lock()
+	for {
+		if e, ok := c.rows[key]; ok {
+			c.lru.MoveToFront(e)
+			row := e.Value.(*csrRow).dist
+			c.hits++
+			c.mu.Unlock()
+			return row
+		}
+		ch, busy := c.inflight[key]
+		if !busy {
+			break
+		}
+		// Another goroutine is computing this row; wait and re-check (the
+		// row can be evicted between its insert and our wakeup).
+		c.mu.Unlock()
+		<-ch
+		c.mu.Lock()
+	}
+	ch := make(chan struct{})
+	c.inflight[key] = ch
+	c.misses++
+	c.mu.Unlock()
+
+	dist := make([]int32, c.n)
+	c.dijkstra(i, dist)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	e := c.lru.PushFront(&csrRow{node: key, dist: dist})
+	c.rows[key] = e
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.rows, back.Value.(*csrRow).node)
+		c.evictions++
+	}
+	c.mu.Unlock()
+	close(ch)
+	return dist
+}
+
+// InvalidateRow implements replication.RowInvalidator: topology deltas
+// (server join/leave) drop the affected row so the next access recomputes
+// it. Out-of-range i is a no-op. Callers that already hold the evicted
+// slice keep a consistent pre-delta view until they re-fetch.
+func (c *CSRLazy) InvalidateRow(i int) {
+	if i < 0 || i >= c.n {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.rows[int32(i)]; ok {
+		c.lru.Remove(e)
+		delete(c.rows, int32(i))
+		c.evictions++
+	}
+	c.mu.Unlock()
+}
+
+// CacheStats reports cache behavior since construction.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	CachedRows              int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CSRLazy) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, CachedRows: c.lru.Len()}
+}
+
+// csrScratch holds per-goroutine Dijkstra buffers. The heap stores packed
+// int64 keys (dist in the high 32 bits) so ordering is a plain integer
+// compare with no interface boxing.
+type csrScratch struct {
+	visited []bool
+	heap    []int64
+}
+
+func pack(dist, node int32) int64 { return int64(dist)<<32 | int64(node) }
+
+// dijkstra fills dist with single-source shortest paths from s over the
+// CSR arrays. Lazy-deletion binary heap; unreachable nodes get
+// topology.Infinity (generators always return connected graphs).
+func (c *CSRLazy) dijkstra(s int, dist []int32) {
+	sc := c.scratch.Get().(*csrScratch)
+	visited := sc.visited
+	for i := range dist {
+		dist[i] = math.MaxInt32
+		visited[i] = false
+	}
+	dist[s] = 0
+	h := sc.heap[:0]
+	h = heapPush(h, pack(0, int32(s)))
+	for len(h) > 0 {
+		var top int64
+		top, h = heapPop(h)
+		u := int32(top & 0xffffffff)
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		du := dist[u]
+		for e := c.rowPtr[u]; e < c.rowPtr[u+1]; e++ {
+			v := c.col[e]
+			if visited[v] {
+				continue
+			}
+			nd := du + c.wt[e]
+			if nd < dist[v] {
+				dist[v] = nd
+				h = heapPush(h, pack(nd, v))
+			}
+		}
+	}
+	sc.heap = h
+	c.scratch.Put(sc)
+}
+
+func heapPush(h []int64, x int64) []int64 {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []int64) (int64, []int64) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
+}

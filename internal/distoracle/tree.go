@@ -1,0 +1,145 @@
+package distoracle
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/topology"
+)
+
+// IsTree reports whether g is a tree: connected with exactly N-1 edges.
+// The empty graph is not a tree; a single node is.
+func IsTree(g *topology.Graph) bool {
+	n := g.N()
+	return n > 0 && g.Edges() == n-1 && g.Connected()
+}
+
+// maxTreeDepth bounds the weighted root distance so that any pairwise
+// distance distTo[i]+distTo[j] fits int32 without overflow.
+const maxTreeDepth = int64(1) << 30
+
+// Tree is an exact O(1)-query distance oracle for tree graphs, following
+// the tree-network replica placement line of work: in a tree the unique
+// i–j path runs through their lowest common ancestor, so
+//
+//	d(i,j) = distTo[i] + distTo[j] - 2·distTo[LCA(i,j)]
+//
+// with distTo the weighted root distance. LCA is answered by a sparse-table
+// range-minimum over the Euler tour (O(M log M) build, O(1) query), so no
+// per-pair storage exists at all — the whole oracle is O(M log M) ints.
+type Tree struct {
+	n      int
+	distTo []int32 // weighted distance from root 0
+	first  []int32 // first Euler-tour index of each node
+	euler  []int32 // Euler tour node sequence, len 2n-1
+	depth  []int32 // unweighted depth of euler[i], the RMQ key
+	// sparse[l][i] = index into euler of the min-depth entry in
+	// [i, i+2^l); stored flat as sparse[l*len(euler)+i].
+	sparse []int32
+	levels int
+}
+
+// NewTree builds the oracle. Errors if g is not a tree or its weighted
+// depth exceeds maxTreeDepth (pairwise sums must stay inside int32).
+func NewTree(g *topology.Graph) (*Tree, error) {
+	if !IsTree(g) {
+		return nil, fmt.Errorf("distoracle: graph with %d nodes / %d edges is not a tree", g.N(), g.Edges())
+	}
+	n := g.N()
+	t := &Tree{
+		n:      n,
+		distTo: make([]int32, n),
+		first:  make([]int32, n),
+		euler:  make([]int32, 0, 2*n-1),
+		depth:  make([]int32, 0, 2*n-1),
+	}
+	// Iterative Euler-tour DFS from root 0. The stack replays each node
+	// once per child boundary so the tour records a re-visit between
+	// subtrees, which is what makes LCA = RMQ over the tour work.
+	type frame struct {
+		node, parent int32
+		edge         int // next neighbor index to descend into
+		udepth       int32
+	}
+	dist64 := make([]int64, n)
+	stack := []frame{{node: 0, parent: -1}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.edge == 0 || f.edge < len(g.Neighbors(int(f.node))) {
+			// Record (or re-record, between children) the node.
+			if f.edge == 0 {
+				t.first[f.node] = int32(len(t.euler))
+			}
+			t.euler = append(t.euler, f.node)
+			t.depth = append(t.depth, f.udepth)
+		}
+		descended := false
+		for f.edge < len(g.Neighbors(int(f.node))) {
+			e := g.Neighbors(int(f.node))[f.edge]
+			f.edge++
+			if e.To == f.parent {
+				continue
+			}
+			dist64[e.To] = dist64[f.node] + int64(e.Weight)
+			if dist64[e.To] > maxTreeDepth {
+				return nil, fmt.Errorf("distoracle: tree depth %d at node %d exceeds %d", dist64[e.To], e.To, maxTreeDepth)
+			}
+			stack = append(stack, frame{node: e.To, parent: f.node, udepth: f.udepth + 1})
+			descended = true
+			break
+		}
+		if !descended {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for i, d := range dist64 {
+		t.distTo[i] = int32(d)
+	}
+	// Sparse table over the Euler depth sequence.
+	m := len(t.euler)
+	t.levels = bits.Len(uint(m))
+	t.sparse = make([]int32, t.levels*m)
+	for i := 0; i < m; i++ {
+		t.sparse[i] = int32(i)
+	}
+	for l := 1; l < t.levels; l++ {
+		span := 1 << l
+		prev := t.sparse[(l-1)*m:]
+		cur := t.sparse[l*m:]
+		for i := 0; i+span <= m; i++ {
+			a, b := prev[i], prev[i+span/2]
+			if t.depth[b] < t.depth[a] {
+				a = b
+			}
+			cur[i] = a
+		}
+	}
+	return t, nil
+}
+
+// N implements replication.CostFn.
+func (t *Tree) N() int { return t.n }
+
+// LCA returns the lowest common ancestor of i and j (rooted at node 0).
+func (t *Tree) LCA(i, j int) int {
+	a, b := t.first[i], t.first[j]
+	if a > b {
+		a, b = b, a
+	}
+	l := bits.Len(uint(b-a+1)) - 1
+	m := len(t.euler)
+	x := t.sparse[l*m+int(a)]
+	y := t.sparse[l*m+int(b)-(1<<l)+1]
+	if t.depth[y] < t.depth[x] {
+		x = y
+	}
+	return int(t.euler[x])
+}
+
+// At implements replication.CostFn in O(1).
+func (t *Tree) At(i, j int) int32 {
+	if i == j {
+		return 0
+	}
+	return t.distTo[i] + t.distTo[j] - 2*t.distTo[t.LCA(i, j)]
+}

@@ -252,6 +252,17 @@ func (c *Controller) ApplyDeltas(ds []Delta) (Applied, error) {
 	if err != nil {
 		return Applied{}, err
 	}
+	// Membership changed: drop the departed/arrived server's cached
+	// distance rows (lazy oracles recompute them on next touch) instead of
+	// rebuilding the whole oracle. Dense matrices don't implement the
+	// capability and skip this.
+	if inv, ok := next.cost.(replication.RowInvalidator); ok {
+		for _, d := range ds {
+			if d.Kind == KindServerJoin || d.Kind == KindServerLeave {
+				inv.InvalidateRow(d.Server)
+			}
+		}
+	}
 	cur := c.view.Load()
 	carried, dropped := p.CarryOver(cur.Schema.Matrix())
 	c.st = next

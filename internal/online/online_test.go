@@ -350,3 +350,49 @@ func TestDeltasFromEvents(t *testing.T) {
 		t.Fatal("event referencing a client outside the map was accepted")
 	}
 }
+
+// recordingOracle wraps a CostFn and records row invalidations, standing in
+// for the lazy caching oracles in internal/distoracle.
+type recordingOracle struct {
+	replication.CostFn
+	invalidated []int
+}
+
+func (r *recordingOracle) InvalidateRow(i int) { r.invalidated = append(r.invalidated, i) }
+
+// TestMembershipDeltasInvalidateRows: server join/leave must invalidate the
+// affected cached distance rows through the replication.RowInvalidator
+// seam, and only membership deltas may do so — demand deltas leave the
+// cache alone.
+func TestMembershipDeltasInvalidateRows(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(6))
+	rec := &recordingOracle{CostFn: p.Cost}
+	ctrl, err := New(rec, p.Work, p.Capacity, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindDemand, Server: 1, Object: 0, Reads: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.invalidated) != 0 {
+		t.Fatalf("demand delta invalidated rows %v", rec.invalidated)
+	}
+	victim := 2
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindServerLeave, Server: victim}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindServerJoin, Server: victim, Capacity: p.Capacity[victim]}}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{victim, victim}; !reflect.DeepEqual(rec.invalidated, want) {
+		t.Fatalf("invalidations = %v, want %v", rec.invalidated, want)
+	}
+	// A rejected batch must not invalidate anything.
+	before := len(rec.invalidated)
+	if _, err := ctrl.ApplyDeltas([]Delta{{Kind: KindServerLeave, Server: victim}, {Kind: KindServerLeave, Server: victim}}); err == nil {
+		t.Fatal("double departure in one batch was accepted")
+	}
+	if len(rec.invalidated) != before {
+		t.Fatalf("rejected batch invalidated rows: %v", rec.invalidated[before:])
+	}
+}

@@ -43,9 +43,22 @@ type RowCostFn interface {
 	Row(i int) []int32
 }
 
+// RowInvalidator is an optional CostFn capability: oracles that cache
+// distance rows keyed by server (the CSR-lazy oracle in internal/distoracle)
+// expose InvalidateRow so topology deltas — a server joining or leaving —
+// can drop the affected cached rows instead of rebuilding the whole oracle.
+// Dense matrices and stateless oracles simply don't implement it.
+type RowInvalidator interface {
+	// InvalidateRow drops any cached distance row for server i. Safe to
+	// call with out-of-range i (a no-op) and concurrently with readers.
+	InvalidateRow(i int)
+}
+
 // CostColumn returns the cost column c(·, m) as a shared slice when the
 // oracle supports it, nil otherwise. Callers must keep an At-based fallback
-// and must not mutate the slice.
+// and must not mutate the slice. The slice may have been materialized
+// lazily by the oracle (and may later be evicted from its cache), but it
+// remains valid and immutable for as long as the caller holds it.
 func (p *Problem) CostColumn(m int) []int32 {
 	if rc, ok := p.Cost.(RowCostFn); ok {
 		return rc.Row(m)

@@ -77,13 +77,37 @@ func (m *DistMatrix) Validate(sampleLimit int) error {
 	return nil
 }
 
+// MaxDenseNodes is the largest node count for which a dense n*n int32
+// matrix can be indexed without overflowing int32 arithmetic on row
+// offsets (floor(sqrt(2^31-1)) = 46340). Beyond this, use the lazy or
+// landmark oracles in internal/distoracle instead of a dense matrix.
+const MaxDenseNodes = 46340
+
 // AllPairs computes the all-pairs shortest-path matrix with one Dijkstra per
 // source, fanned out over a worker pool. workers <= 0 selects GOMAXPROCS.
+// Panics for n > MaxDenseNodes, where the n*n element count would silently
+// wrap int32 index math; such instances must use internal/distoracle.
 func AllPairs(g *Graph, workers int) *DistMatrix {
 	n := g.N()
+	if n > MaxDenseNodes {
+		panic(fmt.Sprintf("topology: AllPairs with n=%d exceeds MaxDenseNodes=%d (n*n overflows int32); use internal/distoracle", n, MaxDenseNodes))
+	}
 	m := &DistMatrix{n: n, d: make([]int32, n*n)}
+	StreamRows(g, workers, m.Row)
+	return m
+}
+
+// StreamRows runs one Dijkstra per source over a worker pool, writing each
+// source's finished distance row into the slice returned by rowOf(src).
+// rowOf must return a caller-owned []int32 of length g.N(); it is invoked
+// from worker goroutines and must be safe for concurrent calls with
+// distinct sources. Unlike AllPairs this never allocates n*n storage
+// itself, so oracle layers can stream rows into bounded caches or K-row
+// landmark tables. workers <= 0 selects GOMAXPROCS.
+func StreamRows(g *Graph, workers int, rowOf func(src int) []int32) {
+	n := g.N()
 	if n == 0 {
-		return m
+		return
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -100,7 +124,7 @@ func AllPairs(g *Graph, workers int) *DistMatrix {
 			// Per-worker scratch reused across sources.
 			scratch := newDijkstraScratch(n)
 			for s := range src {
-				scratch.run(g, s, m.Row(s))
+				scratch.run(g, s, rowOf(s))
 			}
 		}()
 	}
@@ -109,7 +133,13 @@ func AllPairs(g *Graph, workers int) *DistMatrix {
 	}
 	close(src)
 	wg.Wait()
-	return m
+}
+
+// ShortestPathsFrom fills dist (length g.N()) with single-source shortest
+// paths from src. It allocates fresh scratch per call; hot loops that run
+// many sources should go through StreamRows or keep their own scratch.
+func ShortestPathsFrom(g *Graph, src int, dist []int32) {
+	newDijkstraScratch(g.N()).run(g, src, dist)
 }
 
 // dijkstraScratch holds reusable per-worker buffers for Dijkstra runs.

@@ -139,6 +139,25 @@ func PowerLaw(n, m int, w WeightRange, r *stats.RNG) (*Graph, error) {
 	return g, nil
 }
 
+// RandomTree generates a random recursive tree with weighted edges: node u
+// (u >= 1) attaches to a uniformly random earlier node. Trees are the
+// topology family for which the exact O(1)-query LCA distance oracle in
+// internal/distoracle applies, following the tree-network replica placement
+// line of work; this generator makes those scenarios reproducible.
+func RandomTree(n int, w WeightRange, r *stats.RNG) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: RandomTree needs n > 0, got %d", n)
+	}
+	g := NewGraph(n)
+	for u := 1; u < n; u++ {
+		parent := r.Intn(u)
+		if err := g.AddEdge(u, parent, w.sample(r)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
 // TransitStubConfig parameterizes the GT-ITM-style hierarchical generator.
 type TransitStubConfig struct {
 	TransitDomains  int // number of transit domains

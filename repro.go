@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/agtram"
+	"repro/internal/distoracle"
 	"repro/internal/faultnet"
 	"repro/internal/replication"
 	"repro/internal/sim"
@@ -62,6 +63,11 @@ const (
 	TopologyPowerLaw TopologyKind = "powerlaw"
 	// TopologyTransitStub builds a GT-ITM-style two-level hierarchy.
 	TopologyTransitStub TopologyKind = "transitstub"
+	// TopologyTree grows a random recursive tree with weighted edges — the
+	// family served by the exact O(1)-query tree distance oracle.
+	TopologyTree TopologyKind = "tree"
+	// TopologyGrid arranges servers in a near-square unit-weight grid.
+	TopologyGrid TopologyKind = "grid"
 )
 
 // InstanceConfig describes a synthetic DRP instance.
@@ -83,6 +89,18 @@ type InstanceConfig struct {
 	// EdgeP is the edge probability for TopologyRandom (default 0.4, the
 	// paper's first setting).
 	EdgeP float64
+
+	// Oracle selects the distance oracle backing c(i,j): "auto" (the
+	// default — exact tree oracle on trees, dense matrix up to
+	// distoracle.DenseAutoThreshold servers, lazy CSR above), "dense",
+	// "csr", "landmark" (approximate), or "tree".
+	Oracle string
+	// Landmarks is the landmark count K for Oracle == "landmark"
+	// (default distoracle.DefaultLandmarks; K = M is exact).
+	Landmarks int
+	// RowCacheRows bounds the CSR oracle's LRU row cache (default
+	// distoracle.DefaultRowCacheRows).
+	RowCacheRows int
 
 	Seed int64
 }
@@ -177,9 +195,25 @@ func assemble(cfg InstanceConfig, w *workload.Workload) (*Instance, error) {
 		g, err = topology.PowerLaw(cfg.Servers, 2, topology.DefaultWeights, r)
 	case TopologyTransitStub:
 		g, err = transitStubFor(cfg.Servers, r)
+	case TopologyTree:
+		g, err = topology.RandomTree(cfg.Servers, topology.DefaultWeights, r)
+	case TopologyGrid:
+		g = gridFor(cfg.Servers)
 	default:
 		return nil, fmt.Errorf("repro: unknown topology kind %q", cfg.Topology)
 	}
+	if err != nil {
+		return nil, err
+	}
+	mode, err := distoracle.ParseMode(cfg.Oracle)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := distoracle.Build(g, distoracle.Options{
+		Mode:         mode,
+		Landmarks:    cfg.Landmarks,
+		RowCacheRows: cfg.RowCacheRows,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -187,11 +221,24 @@ func assemble(cfg InstanceConfig, w *workload.Workload) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	prob, err := replication.NewProblem(topology.AllPairs(g, 0), w, caps)
+	prob, err := replication.NewProblem(cost, w, caps)
 	if err != nil {
 		return nil, err
 	}
 	return &Instance{cfg: cfg, prob: prob}, nil
+}
+
+// gridFor arranges servers in the most-square grid whose dimensions
+// multiply to exactly the server count (a prime count degenerates to a
+// 1×M line).
+func gridFor(servers int) *topology.Graph {
+	rows := 1
+	for r := 1; r*r <= servers; r++ {
+		if servers%r == 0 {
+			rows = r
+		}
+	}
+	return topology.Grid(rows, servers/rows)
 }
 
 // transitStubFor picks transit-stub parameters that land at least cfg
@@ -230,6 +277,10 @@ func (in *Instance) BaseOTC() int64 { return in.prob.NewSchema().TotalCost() }
 
 // Config returns the instance's configuration.
 func (in *Instance) Config() InstanceConfig { return in.cfg }
+
+// OracleKind names the distance oracle the instance was assembled with
+// ("dense", "csr-lazy", "landmark", "tree").
+func (in *Instance) OracleKind() string { return distoracle.Kind(in.prob.Cost) }
 
 // Problem exposes the underlying model for in-module consumers (the bench
 // harness); external users interact through Solve.
