@@ -36,10 +36,11 @@ bench:
 # Machine-readable engine benchmarks: the six-method comparison
 # (BenchmarkSolve) plus the AGT-RAM engine comparison at Table-1 scale
 # (M=48), M=500 and M=1000 — including the incremental kernel's
-# w1/w2/w4/w8 worker sweep — the distance-oracle micro-benchmarks and the
+# w1/w2/w4/w8 worker sweep — the distance-oracle micro-benchmarks, the
 # dense/CSR/landmark solve matrix at M=1k and (BENCH_M10K=1, set here)
-# M=10k with its rss-MiB peak-memory column — parsed into a JSON artifact
-# (BENCH_*.json, CI regression gate). Tune with
+# M=10k with its rss-MiB peak-memory column, and the routing-plane
+# comparison (HTTP single vs batch vs client-side, routes/s column) —
+# parsed into a JSON artifact (BENCH_*.json, CI regression gate). Tune with
 #   make bench-json BENCH_PATTERN='AGTRAMEnginesLarge' BENCHTIME=10x BENCH_OUT=pr.json
 BENCH_PATTERN ?= AGTRAMEngines|Solve$$|DistOracle
 BENCHTIME ?= 5x
@@ -47,6 +48,7 @@ BENCH_OUT ?= BENCH.json
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCHTIME) . > bench.out
 	BENCH_M10K=1 $(GO) test -run '^$$' -bench 'OracleSolve/M10k' -benchmem -benchtime 1x . >> bench.out
+	$(GO) test -run '^$$' -bench 'RoutingPlane' -benchmem -benchtime $(BENCHTIME) ./internal/server >> bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
 	@rm -f bench.out
@@ -59,11 +61,21 @@ faultmatrix:
 	$(GO) test -race -count=2 -run 'TestFault|TestSolveTCP|TestEvicted|TestDifferentialEngines' ./internal/agtram
 	$(GO) test -race -count=2 ./internal/faultnet
 
-# The daemon's concurrency load test: /route reads race delta batches and
-# background solves under the race detector, with goroutine-leak checking.
-# Run twice so the RCU swap cannot pass on one lucky schedule.
+# The daemon's concurrency load tests plus the routing-plane benchmark.
+# Load: /route reads race delta batches and background solves; SSE/long-poll
+# epoch subscribers verify a gapless version sequence under the same churn;
+# the controller-level journal suite and the routing client's differential
+# tests run alongside — all under the race detector with goroutine-leak
+# checking, twice so the RCU swap cannot pass on one lucky schedule.
+# Bench: server-side vs client-side routing throughput (routes/s + tail
+# latency), parsed into BENCH_7.json for the CI compare gate.
 loadtest:
-	$(GO) test -race -count=2 -run 'TestRouteUnderConcurrentDeltas' ./internal/server
+	$(GO) test -race -count=2 -run 'TestRouteUnderConcurrentDeltas|TestEpochStreamUnderLoad|TestRouteHandlerZeroAlloc' ./internal/server
+	$(GO) test -race -count=2 -run 'TestConcurrentSubscribersGapless|TestSubscribe|TestSlowSubscriber|TestDrainSubscribers' ./internal/online
+	$(GO) test -race -count=2 ./internal/routing
+	$(GO) test -run '^$$' -bench 'RoutingPlane' -benchmem -benchtime 2s ./internal/server | tee routing_bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_7.json < routing_bench.out
+	@rm -f routing_bench.out
 
 # Short smoke of each fuzz target beyond its checked-in corpus.
 fuzz:

@@ -10,16 +10,20 @@
 //
 // Endpoints:
 //
-//	GET  /route?server=i&object=k   nearest replica of k for server i (hot path)
-//	GET  /placement                 full placement report (JSON)
+//	GET  /route?server=i&object=k   nearest replica of k for server i (hot path, zero-alloc)
+//	POST /route                     batch of {"server","object"} pairs, one epoch per batch
+//	GET  /epochs?since=V            epoch stream: long-poll (&wait=5s) or SSE (&stream=sse)
+//	GET  /placement                 full placement report (JSON, ETag/If-None-Match aware)
 //	POST /deltas                    atomic delta batch (JSON array, WCTR or CLF trace)
 //	POST /solve                     force a re-solve now
 //	GET  /metrics                   controller + HTTP metrics
 //	GET  /healthz                   liveness
 //
-// On SIGTERM/SIGINT the daemon stops accepting requests, and — when
-// -snapshot is set — persists the live placement as a JSON report that the
-// next start restores instead of solving cold.
+// On SIGTERM/SIGINT the daemon first drains the epoch stream — every
+// long-poll and SSE subscriber receives a terminal event so routing clients
+// stop cleanly instead of reconnecting — then stops accepting requests, and
+// — when -snapshot is set — persists the live placement as a JSON report
+// that the next start restores instead of solving cold.
 //
 // Example:
 //
@@ -54,6 +58,7 @@ func main() {
 		drift    = flag.Float64("drift", 1.0, "drift threshold in percentage points of savings (<= 0 disables auto-solve)")
 		debounce = flag.Duration("debounce", 2*time.Second, "minimum spacing between automatic re-solves")
 		snapshot = flag.String("snapshot", "", "placement snapshot path: restored on start, written on shutdown")
+		journal  = flag.Int("journal", online.DefaultJournal, "epoch-journal depth: placement diffs kept for GET /epochs replay before clients resync with a snapshot")
 		warm     = flag.Bool("warm", false, "seed re-solves with the live placement instead of solving cold (less churn, timing-dependent placements)")
 		debug    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling endpoints on the same listener)")
 	)
@@ -85,6 +90,7 @@ func main() {
 		DriftThreshold: *drift,
 		SolveDebounce:  *debounce,
 		WarmStart:      *warm,
+		Journal:        *journal,
 	})
 	if err != nil {
 		fatal(err)
@@ -127,7 +133,8 @@ func main() {
 
 	// The pprof endpoints are opt-in and share the service listener: a mux
 	// claims /debug/pprof/ and hands everything else to the API handler.
-	var handler http.Handler = server.New(ctrl)
+	api := server.New(ctrl)
+	var handler http.Handler = api
 	if *debug {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -151,6 +158,11 @@ func main() {
 		fatal(err)
 	}
 
+	// Drain the epoch stream first: Shutdown only waits for idle
+	// connections, and a long-poll or SSE subscriber is never idle until its
+	// stream ends with a terminal event. Draining inside the same window
+	// turns those handlers into completed requests instead of casualties.
+	api.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

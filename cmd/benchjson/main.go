@@ -188,14 +188,16 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, e
 	}
 
 	fmt.Fprintf(w, "### Benchmark comparison (threshold %.0f%% ns/op)\n\n", threshold)
-	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | Δ allocs/op | RSS MiB |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|")
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | Δ allocs/op | routes/s | RSS MiB |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
 	regressions := 0
 	for _, nb := range newArt.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok || ob.NsPerOp == 0 {
-			fmt.Fprintf(w, "| %s | — | %s | new | | %s |\n",
-				nb.Name, fmtNs(nb.NsPerOp), fmtRSSDelta(0, nb.Metrics["rss-MiB"]))
+			fmt.Fprintf(w, "| %s | — | %s | new | | %s | %s |\n",
+				nb.Name, fmtNs(nb.NsPerOp),
+				fmtRateDelta(0, nb.Metrics["routes/s"]),
+				fmtRSSDelta(0, nb.Metrics["rss-MiB"]))
 			continue
 		}
 		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
@@ -204,9 +206,10 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, e
 			regressions++
 			mark = " ⚠️"
 		}
-		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s | %s |\n",
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s | %s | %s |\n",
 			nb.Name, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta, mark,
 			fmtAllocDelta(ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]),
+			fmtRateDelta(ob.Metrics["routes/s"], nb.Metrics["routes/s"]),
 			fmtRSSDelta(ob.Metrics["rss-MiB"], nb.Metrics["rss-MiB"]))
 	}
 	fmt.Fprintln(w)
@@ -234,6 +237,32 @@ func fmtAllocDelta(oldA, newA float64) string {
 		return ""
 	}
 	return fmt.Sprintf("%.0f → %.0f", oldA, newA)
+}
+
+// fmtRateDelta renders the routing-throughput column from the "routes/s"
+// metric the routing-plane benchmarks report. Rates compress to k/M suffixes
+// so the client-side path (tens of millions) and the HTTP path (thousands)
+// share a readable column.
+func fmtRateDelta(oldR, newR float64) string {
+	switch {
+	case oldR == 0 && newR == 0:
+		return ""
+	case oldR == 0:
+		return fmtRate(newR)
+	default:
+		return fmtRate(oldR) + " → " + fmtRate(newR)
+	}
+}
+
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
 }
 
 // fmtRSSDelta renders the peak-memory trajectory column from the "rss-MiB"

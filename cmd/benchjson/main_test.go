@@ -70,15 +70,16 @@ func TestCompare(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeArtifact(t, dir, "old.json", Artifact{Benchmarks: []Benchmark{
 		{Name: "A", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 10}},
-		{Name: "B", NsPerOp: 2000},
+		{Name: "B", NsPerOp: 2000, Metrics: map[string]float64{"routes/s": 6500}},
 		{Name: "Gone", NsPerOp: 5},
 	}})
 
-	// Within threshold: +10% on A, improvement on B, one new benchmark.
+	// Within threshold: +10% on A, improvement on B, one new benchmark with
+	// a routing-throughput metric.
 	newOK := writeArtifact(t, dir, "new_ok.json", Artifact{Benchmarks: []Benchmark{
 		{Name: "A", NsPerOp: 1100, Metrics: map[string]float64{"allocs/op": 0}},
-		{Name: "B", NsPerOp: 900},
-		{Name: "New", NsPerOp: 7},
+		{Name: "B", NsPerOp: 900, Metrics: map[string]float64{"routes/s": 450000}},
+		{Name: "New", NsPerOp: 7, Metrics: map[string]float64{"routes/s": 80.6e6}},
 	}})
 	var sb strings.Builder
 	code, err := runCompare(&sb, oldPath, newOK, 15)
@@ -88,7 +89,7 @@ func TestCompare(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code %d on a within-threshold comparison:\n%s", code, sb.String())
 	}
-	for _, want := range []string{"| A |", "+10.0%", "-55.0%", "| New | — |", "10 → 0"} {
+	for _, want := range []string{"| A |", "+10.0%", "-55.0%", "| New | — |", "10 → 0", "80.6M", "6.5k → 450.0k"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Fatalf("report missing %q:\n%s", want, sb.String())
 		}

@@ -4,15 +4,26 @@
 // paying off ("replicating an object that is already extensively replicated
 // is unlikely to result in significant traffic savings"), comparing the
 // game-theoretic mechanism with the conventional methods.
+//
+// The second half is the serving-path walkthrough: the same CDN operated by
+// the online controller, with edge boxes running routing.Client against the
+// daemon's epoch stream — every cache-miss lookup answered locally instead
+// of with a round-trip, and placement changes arriving as versioned diffs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"repro"
+	"repro/internal/online"
+	"repro/internal/routing"
+	"repro/internal/server"
 )
 
 func main() {
@@ -61,4 +72,83 @@ func main() {
 	fmt.Println("bottleneck, then flatten once every beneficial object is replicated —")
 	fmt.Println("the provisioning knee of Figure 3. Past the knee, extra storage buys")
 	fmt.Println("almost nothing.")
+
+	edgeRouting()
+}
+
+// edgeRouting runs the client-side routing walkthrough: a controller behind
+// the HTTP facade, an edge box following GET /epochs, and a placement change
+// propagating as a diff the edge applies without refetching anything.
+func edgeRouting() {
+	fmt.Println("\n--- client-side edge routing over the epoch stream ---")
+
+	cfg := repro.InstanceConfig{
+		Servers: 32, Objects: 200, Requests: 12000,
+		RWRatio: 0.95, CapacityPercent: 25,
+		Topology: repro.TopologyPowerLaw, Seed: 11,
+	}
+	inst, err := repro.NewInstance(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := inst.Problem()
+	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(ctrl))
+	defer ts.Close()
+
+	// An edge box: same cost oracle (built from the same topology), state
+	// synced over HTTP. Follow runs until the daemon drains.
+	edge := routing.NewClient(p.Cost)
+	followDone := make(chan error, 1)
+	go func() {
+		followDone <- routing.Follow(context.Background(), edge,
+			&routing.HTTPSource{Base: ts.URL, Wait: 500 * time.Millisecond})
+	}()
+	if err := edge.WaitVersion(context.Background(), ctrl.Current().Version, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge synced at epoch %d: lookups are now local (no HTTP per request)\n", edge.Version())
+	from, err := edge.Route(5, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, _ := ctrl.Route(5, 17)
+	fmt.Printf("edge 5 reads object 17 from server %d (controller agrees: %d)\n", from, want)
+
+	// A demand surge lands; the controller re-solves; the edge picks up the
+	// new placement as a diff on the stream.
+	if _, err := ctrl.ApplyDeltas([]online.Delta{
+		{Kind: online.KindDemand, Server: 5, Object: 17, Reads: 50000},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := edge.WaitVersion(context.Background(), ctrl.Current().Version, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	from2, err := edge.Route(5, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want2, _ := ctrl.Route(5, 17)
+	updates, resyncs, _ := edge.Stats()
+	fmt.Printf("after the surge + re-solve (epoch %d): edge answers %d, controller %d; "+
+		"%d diffs applied, %d snapshot resyncs\n", edge.Version(), from2, want2, updates, resyncs)
+
+	// Graceful end: draining the server sends a terminal event and Follow
+	// returns nil instead of reconnect-looping.
+	ctrl.DrainSubscribers()
+	if err := <-followDone; err != nil {
+		log.Fatal(err)
+	}
+	ctrl.Close()
+	fmt.Println("daemon drained; edge follower stopped cleanly on the terminal event")
 }

@@ -1,19 +1,25 @@
 // Package online is the dynamic replica-placement controller behind the
 // agtramd daemon. It owns a mutable workload (the delta-mutated state), the
 // immutable DRP instance materialized from it, and the current placement —
-// published together as an RCU-style View behind an atomic pointer, so the
-// routing hot path never takes a lock.
+// published together as an immutable, versioned Epoch behind an atomic
+// pointer, so the routing hot path never takes a lock.
 //
 // Life of a delta batch: the batch is validated and applied on a clone of
 // the state (all-or-nothing), a fresh Problem is materialized, the live
 // placement is carried over onto it (infeasible replicas dropped — PR 3's
-// eviction semantics), and the new View is swapped in. The controller then
+// eviction semantics), and the new Epoch is published. The controller then
 // measures drift — how far the carried placement's savings fell below the
 // savings achieved at the last solve — and, past the configured threshold,
 // schedules a debounced re-solve through the solver registry. Solves run on
 // a Snapshot of the instance, so deltas and routes proceed concurrently;
-// when a solve finishes, its placement is swapped in (or carried over once
-// more if deltas landed mid-solve).
+// when a solve finishes, its placement is published as the next epoch (or
+// carried over once more if deltas landed mid-solve).
+//
+// Every publish also appends a wire-encodable Update — the placement diff
+// that turned epoch V-1 into V — to a bounded journal and fans it out to
+// subscribers (Subscribe), so clients replicate the placement locally and
+// answer nearest-replica lookups without a server round-trip; see
+// internal/routing for the client side.
 package online
 
 import (
@@ -52,16 +58,10 @@ type Config struct {
 	// warm solves additionally depend on solve timing (which placement was
 	// live), trading reproducibility for less placement churn.
 	WarmStart bool
-}
-
-// View is one immutable (instance, placement) pair. Readers load it with a
-// single atomic pointer read; writers build a fresh View and swap it in —
-// nothing reachable from a published View is ever mutated.
-type View struct {
-	Problem *replication.Problem
-	Schema  *replication.Schema
-	// Version increments on every swap (delta batch, solve, restore).
-	Version uint64
+	// Journal is the epoch-journal depth: how many recent placement diffs
+	// are kept for subscriber replay (DefaultJournal when zero). Subscribers
+	// further behind resync with a full snapshot.
+	Journal int
 }
 
 // Applied reports what a delta batch did.
@@ -74,7 +74,7 @@ type Applied struct {
 	Dropped int `json:"dropped"`
 	// Drift is the controller's drift after the batch (see Metrics.Drift).
 	Drift float64 `json:"drift"`
-	// Version is the published View's version.
+	// Version is the published Epoch's version.
 	Version uint64 `json:"version"`
 	// SolveScheduled reports whether this batch pushed drift past the
 	// threshold and kicked the background solver.
@@ -103,18 +103,27 @@ type Metrics struct {
 	DeltasApplied  int64   `json:"deltas_applied"`
 	CarriedDrops   int64   `json:"carried_drops"`
 	Evictions      int64   `json:"evictions"`
-	LastSolveError string  `json:"last_solve_error,omitempty"`
+	// Subscribers is the number of live epoch subscriptions; JournalLen how
+	// many epochs the bounded journal currently holds for replay.
+	Subscribers    int    `json:"subscribers"`
+	JournalLen     int    `json:"journal_len"`
+	LastSolveError string `json:"last_solve_error,omitempty"`
 }
 
-// Controller owns the mutable workload state and the published View.
+// Controller owns the mutable workload state and the published Epoch.
 type Controller struct {
-	cfg  Config
-	view atomic.Pointer[View]
+	cfg   Config
+	epoch atomic.Pointer[Epoch]
 
-	// mu guards the mutable state and the bookkeeping below. The routing
-	// path never takes it; delta batches, solve publication and metrics do.
+	// mu guards the mutable state and the bookkeeping below — including the
+	// journal and subscriber set. The routing path never takes it; delta
+	// batches, epoch publication, subscription churn and metrics do.
 	mu            sync.Mutex
 	st            *state
+	journal       journal
+	subs          map[uint64]*Subscription
+	nextSubID     uint64
+	draining      bool
 	solvedSavings float64
 	drift         float64
 	lastSolveAt   time.Time
@@ -142,6 +151,9 @@ func New(cost replication.CostFn, w *workload.Workload, capacity []int64, cfg Co
 	if _, ok := solver.Lookup(cfg.Method); !ok {
 		return nil, fmt.Errorf("online: unknown method %q (have %v)", cfg.Method, solver.Names())
 	}
+	if cfg.Journal <= 0 {
+		cfg.Journal = DefaultJournal
+	}
 	st, err := newState(cost, w, capacity)
 	if err != nil {
 		return nil, err
@@ -151,7 +163,8 @@ func New(cost replication.CostFn, w *workload.Workload, capacity []int64, cfg Co
 		return nil, err
 	}
 	c := &Controller{cfg: cfg, st: st, kick: make(chan struct{}, 1)}
-	c.view.Store(&View{Problem: p, Schema: p.NewSchema(), Version: 1})
+	c.journal.max = cfg.Journal
+	c.publishLocked(nil, &Epoch{Problem: p, Schema: p.NewSchema(), Version: 1, Cause: CauseInit})
 	return c, nil
 }
 
@@ -165,13 +178,15 @@ func (c *Controller) Start(ctx context.Context) {
 	go c.loop(ctx)
 }
 
-// Close stops the background loop and waits for it to exit. The controller
-// keeps serving routes and deltas after Close; only automatic solves stop.
+// Close stops the background loop and waits for it to exit, then drains any
+// remaining epoch subscribers. The controller keeps serving routes and
+// deltas after Close; only automatic solves and the epoch stream stop.
 func (c *Controller) Close() {
 	if c.cancel != nil {
 		c.cancel()
 	}
 	c.wg.Wait()
+	c.DrainSubscribers()
 }
 
 func (c *Controller) loop(ctx context.Context) {
@@ -208,32 +223,29 @@ func (c *Controller) kickSolve() {
 	}
 }
 
-// Current returns the live View. The placement reachable from it is
+// Current returns the live Epoch. Everything reachable from it is
 // immutable; callers may read it without synchronization.
-func (c *Controller) Current() *View { return c.view.Load() }
+func (c *Controller) Current() *Epoch { return c.epoch.Load() }
 
 // Route answers "which server does server i read object k from" against the
-// live placement. It is lock-free and never blocks on deltas or solves.
+// live placement, using the canonical replication.Nearest rule (lowest cost,
+// ties to the lowest server id) — the same pure function the client-side
+// routing library evaluates, so a synced routing.Client answers
+// bit-identically. It is lock-free and never blocks on deltas or solves.
 func (c *Controller) Route(server int, object int32) (int32, error) {
-	v := c.view.Load()
-	if server < 0 || server >= v.Problem.M {
-		return 0, fmt.Errorf("online: server %d outside [0,%d)", server, v.Problem.M)
-	}
-	if object < 0 || int(object) >= v.Problem.N {
-		return 0, fmt.Errorf("online: object %d outside [0,%d)", object, v.Problem.N)
-	}
-	return v.Schema.NN(server, object), nil
+	return c.epoch.Load().Route(server, object)
 }
 
 // Placement reports the live placement.
 func (c *Controller) Placement() replication.PlacementReport {
-	return c.view.Load().Schema.Report()
+	return c.epoch.Load().Schema.Report()
 }
 
 // ApplyDeltas applies a batch atomically: every delta validates and applies
 // on a clone of the state, or the whole batch is rejected and the live state
 // is untouched. On success the new instance is materialized, the live
-// placement carried over, and the View swapped.
+// placement carried over, and the next epoch published to the journal and
+// all subscribers.
 func (c *Controller) ApplyDeltas(ds []Delta) (Applied, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -263,11 +275,14 @@ func (c *Controller) ApplyDeltas(ds []Delta) (Applied, error) {
 			}
 		}
 	}
-	cur := c.view.Load()
+	cur := c.epoch.Load()
 	carried, dropped := p.CarryOver(cur.Schema.Matrix())
 	c.st = next
-	v := &View{Problem: p, Schema: carried, Version: cur.Version + 1}
-	c.view.Store(v)
+	e := &Epoch{
+		Problem: p, Schema: carried, Version: cur.Version + 1,
+		Cause: CauseDeltas, Deltas: append([]Delta(nil), ds...),
+	}
+	c.publishLocked(cur, e)
 
 	c.deltasApplied += int64(len(ds))
 	c.carriedDrops += int64(dropped)
@@ -279,19 +294,19 @@ func (c *Controller) ApplyDeltas(ds []Delta) (Applied, error) {
 	}
 	return Applied{
 		Applied: len(ds), Dropped: dropped, Drift: c.drift,
-		Version: v.Version, SolveScheduled: scheduled,
+		Version: e.Version, SolveScheduled: scheduled,
 	}, nil
 }
 
 // SolveNow runs one solve through the registry on a snapshot of the live
 // instance and publishes the result. Deltas and routes proceed during the
-// solve; if a delta batch swaps the View mid-solve, the solved placement is
-// carried over onto the newer instance instead of clobbering it.
+// solve; if a delta batch publishes an epoch mid-solve, the solved placement
+// is carried over onto the newer instance instead of clobbering it.
 func (c *Controller) SolveNow(ctx context.Context) error {
 	c.solveMu.Lock()
 	defer c.solveMu.Unlock()
 
-	base := c.view.Load()
+	base := c.epoch.Load()
 	snap := base.Problem.Snapshot()
 	opts := solver.Options{
 		Workers:      c.cfg.Workers,
@@ -318,12 +333,12 @@ func (c *Controller) SolveNow(ctx context.Context) error {
 	c.solvedSavings = out.Schema.Savings()
 	c.evictions += int64(len(out.Evictions))
 
-	cur := c.view.Load()
+	cur := c.epoch.Load()
 	if cur.Version == base.Version {
 		// No deltas landed mid-solve: install the solved placement. The
 		// snapshot becomes the served instance; it is value-identical to
 		// cur.Problem by construction.
-		c.view.Store(&View{Problem: snap, Schema: out.Schema, Version: cur.Version + 1})
+		c.publishLocked(cur, &Epoch{Problem: snap, Schema: out.Schema, Version: cur.Version + 1, Cause: CauseSolve})
 		c.drift = 0
 		return nil
 	}
@@ -331,7 +346,7 @@ func (c *Controller) SolveNow(ctx context.Context) error {
 	// newest instance and re-measure drift against it.
 	carried, dropped := cur.Problem.CarryOver(out.Schema.Matrix())
 	c.carriedDrops += int64(dropped)
-	c.view.Store(&View{Problem: cur.Problem, Schema: carried, Version: cur.Version + 1})
+	c.publishLocked(cur, &Epoch{Problem: cur.Problem, Schema: carried, Version: cur.Version + 1, Cause: CauseSolve})
 	c.drift = clampDrift(c.solvedSavings - carried.Savings())
 	if c.cfg.DriftThreshold > 0 && c.drift > c.cfg.DriftThreshold {
 		c.kickSolve()
@@ -345,12 +360,12 @@ func (c *Controller) SolveNow(ctx context.Context) error {
 func (c *Controller) RestorePlacement(rep replication.PlacementReport) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cur := c.view.Load()
+	cur := c.epoch.Load()
 	s, err := cur.Problem.Restore(rep)
 	if err != nil {
 		return err
 	}
-	c.view.Store(&View{Problem: cur.Problem, Schema: s, Version: cur.Version + 1})
+	c.publishLocked(cur, &Epoch{Problem: cur.Problem, Schema: s, Version: cur.Version + 1, Cause: CauseRestore})
 	c.solvedSavings = s.Savings()
 	c.drift = 0
 	return nil
@@ -360,7 +375,7 @@ func (c *Controller) RestorePlacement(rep replication.PlacementReport) error {
 func (c *Controller) Metrics() Metrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v := c.view.Load()
+	v := c.epoch.Load()
 	active := 0
 	for _, a := range c.st.active {
 		if a {
@@ -390,6 +405,8 @@ func (c *Controller) Metrics() Metrics {
 		DeltasApplied:  c.deltasApplied,
 		CarriedDrops:   c.carriedDrops,
 		Evictions:      c.evictions,
+		Subscribers:    len(c.subs),
+		JournalLen:     len(c.journal.ring),
 		LastSolveError: c.lastSolveErr,
 	}
 }

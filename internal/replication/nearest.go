@@ -1,0 +1,25 @@
+package replication
+
+// Nearest returns the canonical nearest holder of an object for reader
+// `from`: the replica with the lowest transfer cost, ties broken toward the
+// lowest server id. replicas must be non-empty and sorted ascending — the
+// form Schema.Replicas maintains — so the strict `<` scan resolves ties
+// deterministically.
+//
+// This rule is deliberately stateless: unlike the Schema's incremental NN
+// tables (whose tie-breaks depend on placement order), Nearest is a pure
+// function of (cost oracle, replica set, reader). The online controller's
+// routing path and the client-side routing library in internal/routing both
+// answer through it, which is what makes client-side lookups bit-identical
+// to the server's without shipping the NN tables over the wire. The chosen
+// server always has the minimum cost, so OTC accounting — which depends on
+// costs, not ids — is unaffected by the tie-break.
+func Nearest(cost CostFn, replicas []int32, from int) int32 {
+	best, bestC := replicas[0], cost.At(from, int(replicas[0]))
+	for _, j := range replicas[1:] {
+		if c := cost.At(from, int(j)); c < bestC {
+			best, bestC = j, c
+		}
+	}
+	return best
+}

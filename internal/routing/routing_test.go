@@ -1,0 +1,273 @@
+package routing
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	_ "repro/internal/agtram" // register the agt-ram solver
+	"repro/internal/online"
+	"repro/internal/server"
+	"repro/internal/testutil"
+)
+
+// newController builds a controller over a small deterministic instance.
+func newController(t testing.TB, seed int64, cfg online.Config) *online.Controller {
+	t.Helper()
+	p := testutil.MustBuild(testutil.Small(seed))
+	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// checkBitIdentical compares every (server, object) lookup of the client
+// against the controller at the controller's current epoch. The caller must
+// have converged the client onto that epoch first.
+func checkBitIdentical(t *testing.T, ctrl *online.Controller, c *Client) int {
+	t.Helper()
+	e := ctrl.Current()
+	if v := c.Version(); v != e.Version {
+		t.Fatalf("client at version %d, controller at %d", v, e.Version)
+	}
+	checks := 0
+	for i := 0; i < e.Problem.M; i++ {
+		for k := int32(0); int(k) < e.Problem.N; k++ {
+			want, err := ctrl.Route(i, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Route(i, k)
+			if err != nil {
+				t.Fatalf("client route(%d,%d): %v", i, k, err)
+			}
+			if got != want {
+				t.Fatalf("route(%d,%d): client %d != controller %d at version %d", i, k, got, want, e.Version)
+			}
+			checks++
+		}
+	}
+	return checks
+}
+
+// follow runs Follow in a goroutine and returns a stop func that cancels it
+// and waits for exit.
+func follow(t *testing.T, ctrl *online.Controller, c *Client) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Follow(ctx, c, &ControllerSource{Ctrl: ctrl}) }()
+	return func() {
+		cancel()
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("follow: %v", err)
+		}
+	}
+}
+
+func waitFor(t *testing.T, c *Client, v uint64) {
+	t.Helper()
+	if err := c.WaitVersion(context.Background(), v, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientBitIdenticalAcrossTrace is the ISSUE's differential test: a
+// client following the epoch stream answers every nearest-replica lookup
+// bit-identically to Controller.Route across a trace of demand deltas,
+// catalogue growth, membership churn and solves — including a second client
+// that joins mid-stream from a stale version and must resync through a
+// deliberately tiny journal.
+func TestClientBitIdenticalAcrossTrace(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctrl := newController(t, 7, online.Config{Journal: 2})
+	defer ctrl.Close()
+
+	early := NewClient(ctrl.Current().Problem.Cost)
+	stopEarly := follow(t, ctrl, early)
+	defer stopEarly()
+
+	apply := func(ds ...online.Delta) {
+		t.Helper()
+		if _, err := ctrl.ApplyDeltas(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step := func() {
+		t.Helper()
+		waitFor(t, early, ctrl.Current().Version)
+		checkBitIdentical(t, ctrl, early)
+	}
+
+	// Demand shifts, then a solve that actually moves replicas.
+	for i := 0; i < 4; i++ {
+		apply(online.Delta{Kind: online.KindDemand, Server: i % 16, Object: int32(3 * i % 60), Reads: 4000})
+		step()
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	step()
+
+	// A client joining mid-stream: the 2-deep journal cannot replay from
+	// version 0, so its first update must be a snapshot resync.
+	late := NewClient(ctrl.Current().Problem.Cost)
+	stopLate := follow(t, ctrl, late)
+	defer stopLate()
+	waitFor(t, late, ctrl.Current().Version)
+	checkBitIdentical(t, ctrl, late)
+
+	// Catalogue growth and membership churn, both clients tracking.
+	apply(online.Delta{Kind: online.KindAddObject, Object: 60, Size: 1, Primary: 2})
+	apply(online.Delta{Kind: online.KindDemand, Server: 5, Object: 60, Reads: 9000})
+	apply(online.Delta{Kind: online.KindServerLeave, Server: 3})
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	apply(online.Delta{Kind: online.KindServerJoin, Server: 3, Capacity: 1 << 40})
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	step()
+	waitFor(t, late, ctrl.Current().Version)
+	checkBitIdentical(t, ctrl, late)
+
+	// The early client rode through everything on diffs alone (its journal
+	// never outran it); the late one needed at most its initial snapshot.
+	if _, resyncs, stales := early.Stats(); resyncs != 0 || stales != 0 {
+		t.Fatalf("early client resynced %d / staled %d; want a pure diff ride", resyncs, stales)
+	}
+}
+
+// TestClientStaleDetection checks Apply's chain validation: an update whose
+// diff does not extend the client's version is rejected with ErrStale and
+// leaves the table untouched.
+func TestClientStaleDetection(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctrl := newController(t, 8, online.Config{})
+	defer ctrl.Close()
+
+	c := NewClient(ctrl.Current().Problem.Cost)
+	if _, err := c.Route(0, 0); !errors.Is(err, ErrNotSynced) {
+		t.Fatalf("unsynced Route error = %v, want ErrNotSynced", err)
+	}
+	if err := c.Apply(ctrl.Current().SnapshotUpdate()); err != nil {
+		t.Fatal(err)
+	}
+	v := c.Version()
+
+	// A diff from a version the client is not at.
+	bad := &online.Update{Version: v + 5, Diff: &online.Diff{From: v + 4, Servers: 16}}
+	if err := c.Apply(bad); !errors.Is(err, ErrStale) {
+		t.Fatalf("gap diff error = %v, want ErrStale", err)
+	}
+	// A corrupt diff that chains correctly but removes an absent replica.
+	bad = &online.Update{Version: v + 1, Diff: &online.Diff{
+		From: v, Servers: 16,
+		Remove: []online.ReplicaRef{{Object: 0, Server: 9}, {Object: 0, Server: 9}},
+	}}
+	if err := c.Apply(bad); !errors.Is(err, ErrStale) {
+		t.Fatalf("corrupt diff error = %v, want ErrStale", err)
+	}
+	if c.Version() != v {
+		t.Fatalf("rejected updates moved the version %d -> %d", v, c.Version())
+	}
+	if _, _, stales := c.Stats(); stales != 2 {
+		t.Fatalf("stales = %d, want 2", stales)
+	}
+}
+
+// TestFollowResubscribesAfterEviction forces the slow-subscriber path: a
+// client whose subscription buffer is one update deep follows a controller
+// publishing bursts. Evictions close its stream mid-ride; Follow must
+// resubscribe (journal replay or snapshot) until the client converges, and
+// the final answers must still be bit-identical.
+func TestFollowResubscribesAfterEviction(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctrl := newController(t, 9, online.Config{Journal: 4})
+	defer ctrl.Close()
+
+	c := NewClient(ctrl.Current().Problem.Cost)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Follow(ctx, c, &ControllerSource{Ctrl: ctrl, Buffer: 1}) }()
+
+	for i := 0; i < 40; i++ {
+		if _, err := ctrl.ApplyDeltas([]online.Delta{{
+			Kind: online.KindDemand, Server: i % 16, Object: int32(i % 60), Reads: int64(100 + i),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, c, ctrl.Current().Version)
+	checkBitIdentical(t, ctrl, c)
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowStopsOnDrain checks the shutdown handshake: draining the
+// controller ends Follow with nil, not an error and not a reconnect loop.
+func TestFollowStopsOnDrain(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctrl := newController(t, 10, online.Config{})
+	c := NewClient(ctrl.Current().Problem.Cost)
+	done := make(chan error, 1)
+	go func() { done <- Follow(context.Background(), c, &ControllerSource{Ctrl: ctrl}) }()
+	waitFor(t, c, ctrl.Current().Version)
+	ctrl.DrainSubscribers()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Follow after drain = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Follow did not stop on drain")
+	}
+	ctrl.Close()
+}
+
+// TestHTTPSourceEndToEnd follows a real daemon over the long-poll transport:
+// the client converges through GET /epochs, stays bit-identical through
+// deltas and a solve, and ends cleanly when the server drains.
+func TestHTTPSourceEndToEnd(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctrl := newController(t, 11, online.Config{})
+	srv := server.New(ctrl)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := NewClient(ctrl.Current().Problem.Cost)
+	done := make(chan error, 1)
+	go func() {
+		done <- Follow(context.Background(), c, &HTTPSource{Base: ts.URL, Wait: 250 * time.Millisecond})
+	}()
+
+	for i := 0; i < 5; i++ {
+		if _, err := ctrl.ApplyDeltas([]online.Delta{{
+			Kind: online.KindDemand, Server: (2 * i) % 16, Object: int32((7 * i) % 60), Reads: 3000,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, c, ctrl.Current().Version)
+	checkBitIdentical(t, ctrl, c)
+
+	srv.Drain()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Follow after server drain = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Follow did not stop when the server drained")
+	}
+	ctrl.Close()
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// defaultWait is the long-poll window when the client does not choose one;
+// maxWait caps what a client may ask for so a handler never parks forever.
+const (
+	defaultWait = 30 * time.Second
+	maxWait     = 60 * time.Second
+)
+
+// handleEpochs serves the epoch stream: the journalled sequence of placement
+// updates (snapshots and diffs) the routing client library replays. Two
+// transports over one subscription model:
+//
+//	GET /epochs?since=V[&wait=5s]     long-poll: JSON array of the updates
+//	                                  after version V — immediately when the
+//	                                  journal has them, otherwise blocking up
+//	                                  to wait for the next publish; 204 when
+//	                                  the window closes empty.
+//	GET /epochs?since=V&stream=sse    server-sent events: one `data:` line per
+//	                                  update, held open until the client goes
+//	                                  away or the server drains.
+//
+// A client further behind than the journal receives one full snapshot
+// instead of a replay; a draining server ends either transport with a
+// terminal update ("terminal":true) so clients stop instead of reconnecting.
+func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		var err error
+		if since, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+			return
+		}
+	}
+	if q.Get("stream") == "sse" {
+		s.serveEpochSSE(w, r, since)
+		return
+	}
+	wait := defaultWait
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait: %w", err))
+			return
+		}
+		if d > maxWait {
+			d = maxWait
+		}
+		wait = d
+	}
+	s.serveEpochPoll(w, r, since, wait)
+}
+
+func (s *Server) serveEpochPoll(w http.ResponseWriter, r *http.Request, since uint64, wait time.Duration) {
+	sub := s.ctrl.Subscribe(since, 0)
+	defer s.ctrl.Unsubscribe(sub)
+
+	var updates []*json.RawMessage
+	appendUpdate := func(u any) bool {
+		raw, err := json.Marshal(u)
+		if err != nil {
+			return false
+		}
+		m := json.RawMessage(raw)
+		updates = append(updates, &m)
+		return true
+	}
+	// Catch-up first: everything already buffered goes out without waiting.
+	drained := false
+drain:
+	for {
+		select {
+		case u, ok := <-sub.C:
+			if !ok {
+				drained = true
+				break drain
+			}
+			appendUpdate(u)
+			if u.Terminal {
+				drained = true
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	// Nothing buffered: park for the window's first publish, then sweep once
+	// more so a burst goes out as one array.
+	if len(updates) == 0 && !drained {
+		t := time.NewTimer(wait)
+		select {
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		case <-t.C:
+		case u, ok := <-sub.C:
+			t.Stop()
+			if ok {
+				appendUpdate(u)
+				if !u.Terminal {
+				sweep:
+					for {
+						select {
+						case u, ok := <-sub.C:
+							if !ok || !appendUpdate(u) || u.Terminal {
+								break sweep
+							}
+						default:
+							break sweep
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(updates) == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, updates)
+}
+
+func (s *Server) serveEpochSSE(w http.ResponseWriter, r *http.Request, since uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("sse: response writer cannot stream"))
+		return
+	}
+	sub := s.ctrl.Subscribe(since, 0)
+	defer s.ctrl.Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case u, ok := <-sub.C:
+			if !ok {
+				// Dropped as a slow subscriber (Err()==ErrSlowSubscriber) or
+				// unsubscribed: end the stream; the client reconnects with
+				// since=<its version>.
+				return
+			}
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return
+			}
+			if err := enc.Encode(u); err != nil { // Encode appends the first \n
+				return
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+			fl.Flush()
+			if u.Terminal {
+				return
+			}
+		}
+	}
+}

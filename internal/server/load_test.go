@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -142,5 +143,174 @@ func TestRouteUnderConcurrentDeltas(t *testing.T) {
 	}
 	if m.SolvesRun < forcedSolves {
 		t.Fatalf("solves run %d, want at least %d", m.SolvesRun, forcedSolves)
+	}
+}
+
+// TestEpochStreamUnderLoad hammers the epoch subscription path while delta
+// batches and solves publish concurrently: SSE and long-poll subscribers join
+// at random points and each must observe a strictly increasing, gapless
+// version sequence — every update is prev+1, or a snapshot (which may jump
+// forward but never back). Run under -race -count=2 via make loadtest, it is
+// the HTTP-level companion to the controller's
+// TestConcurrentSubscribersGapless.
+func TestEpochStreamUnderLoad(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctrl, ts := newTestServer(t, 43, online.Config{Journal: 8})
+	srv := tsHandler(t, ts)
+
+	const (
+		sseSubs      = 4
+		pollSubs     = 4
+		deltaWriters = 2
+		deltasPerG   = 30
+		forcedSolves = 2
+	)
+	var (
+		wg       sync.WaitGroup
+		observed atomic.Int64
+		failures atomic.Int64
+		firstErr atomic.Value
+	)
+	fail := func(err error) {
+		failures.Add(1)
+		firstErr.CompareAndSwap(nil, err)
+	}
+	// checkSeq folds one update into a subscriber's (last, synced) cursor,
+	// failing on any gap or regression.
+	checkSeq := func(last uint64, synced bool, u *online.Update) (uint64, bool) {
+		switch {
+		case u.Snapshot != nil:
+			if synced && u.Version < last {
+				fail(fmt.Errorf("snapshot went backwards: %d after %d", u.Version, last))
+			}
+		case u.Diff != nil:
+			if synced && u.Version != last+1 {
+				fail(fmt.Errorf("version gap: %d after %d", u.Version, last))
+			}
+			if u.Diff.From != u.Version-1 {
+				fail(fmt.Errorf("diff %d chains from %d", u.Version, u.Diff.From))
+			}
+		}
+		observed.Add(1)
+		return u.Version, true
+	}
+
+	// SSE subscribers ride one stream each until the drain.
+	for g := 0; g < sseSubs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/epochs?since=0&stream=sse")
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			var last uint64
+			synced := false
+			for sc.Scan() {
+				line := sc.Text()
+				if !strings.HasPrefix(line, "data: ") {
+					continue
+				}
+				var u online.Update
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &u); err != nil {
+					fail(err)
+					return
+				}
+				if u.Terminal {
+					return
+				}
+				last, synced = checkSeq(last, synced, &u)
+			}
+		}()
+	}
+
+	// Long-poll subscribers: repeated windows, resuming from their cursor.
+	pollCtx, stopPolls := context.WithCancel(context.Background())
+	defer stopPolls()
+	for g := 0; g < pollSubs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			synced := false
+			for pollCtx.Err() == nil {
+				req, _ := http.NewRequestWithContext(pollCtx, http.MethodGet,
+					fmt.Sprintf("%s/epochs?since=%d&wait=100ms", ts.URL, last), nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					return // context canceled mid-poll
+				}
+				if resp.StatusCode == http.StatusNoContent {
+					resp.Body.Close()
+					continue
+				}
+				var updates []*online.Update
+				err = json.NewDecoder(resp.Body).Decode(&updates)
+				resp.Body.Close()
+				if err != nil {
+					fail(err)
+					return
+				}
+				for _, u := range updates {
+					if u.Terminal {
+						return
+					}
+					last, synced = checkSeq(last, synced, u)
+				}
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	client := &http.Client{Timeout: 30 * time.Second}
+	for g := 0; g < deltaWriters; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			for i := 0; i < deltasPerG; i++ {
+				body := fmt.Sprintf(`[{"kind":"demand","server":%d,"object":%d,"reads":%d}]`,
+					(g*5+i)%16, (g*3+2*i)%60, 200+10*i)
+				resp, err := client.Post(ts.URL+"/deltas", "application/json", strings.NewReader(body))
+				if err != nil {
+					fail(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; i < forcedSolves; i++ {
+			resp, err := client.Post(ts.URL+"/solve", "application/json", nil)
+			if err != nil {
+				fail(err)
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+	writerWG.Wait()
+
+	// Drain ends the SSE streams with a terminal event; long-polls stop on
+	// their next window (terminal or context).
+	srv.Drain()
+	stopPolls()
+	wg.Wait()
+	ctrl.Close()
+
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d stream violations; first: %v", n, firstErr.Load())
+	}
+	if observed.Load() == 0 {
+		t.Fatal("no updates observed: the load test is vacuous")
+	}
+	want := uint64(1 + deltaWriters*deltasPerG + forcedSolves)
+	if got := ctrl.Current().Version; got != want {
+		t.Fatalf("final version %d, want %d", got, want)
 	}
 }

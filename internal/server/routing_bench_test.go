@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/routing"
+	"repro/internal/testutil"
+)
+
+// nullResponseWriter discards the response: the zero-alloc test and the
+// in-process benchmarks measure the handler, not the HTTP transport.
+type nullResponseWriter struct{ h http.Header }
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// TestRouteHandlerZeroAlloc pins the single-route hot path at zero
+// allocations per request: query parsing scans RawQuery in place, the
+// response body comes from a pooled buffer, and the Content-Type header
+// value is shared. Any regression that re-introduces per-request garbage
+// fails this test before it shows up in a profile.
+func TestRouteHandlerZeroAlloc(t *testing.T) {
+	p := testutil.MustBuild(testutil.Small(51))
+	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ctrl)
+	req := httptest.NewRequest(http.MethodGet, "/route?server=3&object=7", nil)
+	w := &nullResponseWriter{h: make(http.Header)}
+	srv.handleRoute(w, req) // warm the buffer pool and the header map
+	if allocs := testing.AllocsPerRun(1000, func() {
+		srv.handleRoute(w, req)
+	}); allocs != 0 {
+		t.Fatalf("handleRoute allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+// BenchmarkRoutingPlane is the routing-plane comparison the loadtest target
+// records into BENCH_7.json: the same nearest-replica question answered
+// three ways — one HTTP request per lookup, one HTTP request per 128-lookup
+// batch, and entirely client-side against a routing.Client synced over the
+// epoch stream. Each sub-benchmark reports routes/s; the HTTP paths also
+// report p99 request latency. The client-side path is the reason the epoch
+// plane exists: it must sustain well over 10x the single-request path.
+func BenchmarkRoutingPlane(b *testing.B) {
+	p := testutil.MustBuild(testutil.Small(52))
+	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	M, N := p.M, p.N
+	ts := httptest.NewServer(New(ctrl))
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+
+	b.Run("http-single", func(b *testing.B) {
+		lat := make([]float64, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			resp, err := client.Get(fmt.Sprintf("%s/route?server=%d&object=%d", ts.URL, i%M, (i*7)%N))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			lat = append(lat, float64(time.Since(t0).Microseconds()))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+		b.ReportMetric(p99(lat), "p99-us")
+	})
+
+	b.Run("http-batch", func(b *testing.B) {
+		const batch = 128
+		pairs := make([]RoutePair, batch)
+		for j := range pairs {
+			pairs[j] = RoutePair{Server: j % M, Object: int32((j * 11) % N)}
+		}
+		body, _ := json.Marshal(pairs)
+		routes := 0
+		lat := make([]float64, 0, b.N/batch+1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			t0 := time.Now()
+			resp, err := client.Post(ts.URL+"/route", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			routes += batch
+			lat = append(lat, float64(time.Since(t0).Microseconds()))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(routes)/b.Elapsed().Seconds(), "routes/s")
+		b.ReportMetric(p99(lat), "p99-us")
+	})
+
+	b.Run("client-side", func(b *testing.B) {
+		c := routing.NewClient(p.Cost)
+		if err := c.Apply(ctrl.Current().SnapshotUpdate()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Route(i%M, int32((i*7)%N)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+	})
+}
+
+func p99(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	idx := len(xs) * 99 / 100
+	if idx >= len(xs) {
+		idx = len(xs) - 1
+	}
+	return xs[idx]
+}

@@ -3,8 +3,10 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/online"
+	"repro/internal/routing"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -24,6 +26,12 @@ type OnlineReplay struct {
 	// incremental delta path and the aggregate OTC formula agree.
 	FinalOTC int64
 	Metrics  *Metrics
+	// Clients is how many routing clients followed the epoch stream during
+	// the replay; ClientChecks how many (server, object) lookups were
+	// verified bit-identical between the clients and the controller once all
+	// clients converged on the final epoch.
+	Clients      int
+	ClientChecks int
 }
 
 // ReplayOnline feeds the trace into the controller as chronological delta
@@ -33,7 +41,13 @@ type OnlineReplay struct {
 // same map Replay requires). With solvePerBatch the controller re-solves
 // after every batch, modelling a daemon that keeps up with its feed;
 // otherwise it solves once at the end.
-func ReplayOnline(ctx context.Context, ctrl *online.Controller, l *trace.Log, cm workload.ClientMap, batches int, solvePerBatch bool) (*OnlineReplay, error) {
+//
+// clients > 0 additionally runs that many routing.Clients following the
+// controller's epoch stream while the deltas and solves land — the
+// client-side routing path exercised under churn. After the last publish,
+// every client is waited onto the final epoch and its answer for every
+// (server, object) pair is checked bit-identical to the controller's.
+func ReplayOnline(ctx context.Context, ctrl *online.Controller, l *trace.Log, cm workload.ClientMap, batches int, solvePerBatch bool, clients int) (*OnlineReplay, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -43,8 +57,20 @@ func ReplayOnline(ctx context.Context, ctrl *online.Controller, l *trace.Log, cm
 	if len(l.Events) == 0 {
 		return nil, fmt.Errorf("sim: trace has no events")
 	}
+
+	followCtx, stopFollow := context.WithCancel(ctx)
+	defer stopFollow()
+	cs := make([]*routing.Client, clients)
+	done := make(chan error, clients)
+	for i := range cs {
+		cs[i] = routing.NewClient(ctrl.Current().Problem.Cost)
+		go func(c *routing.Client) {
+			done <- routing.Follow(followCtx, c, &routing.ControllerSource{Ctrl: ctrl})
+		}(cs[i])
+	}
+
 	servers := ctrl.Current().Problem.M
-	out := &OnlineReplay{}
+	out := &OnlineReplay{Clients: clients}
 	per := (len(l.Events) + batches - 1) / batches
 	for start := 0; start < len(l.Events); start += per {
 		end := start + per
@@ -72,6 +98,38 @@ func ReplayOnline(ctx context.Context, ctrl *online.Controller, l *trace.Log, cm
 		}
 	}
 	v := ctrl.Current()
+
+	// Converge every client onto the final epoch and check its routing table
+	// answers exactly like the controller — the epoch stream carried the
+	// placement through every intermediate version without divergence.
+	for ci, c := range cs {
+		if err := c.WaitVersion(ctx, v.Version, 5*time.Second); err != nil {
+			return nil, fmt.Errorf("sim: client %d: %w", ci, err)
+		}
+		for i := 0; i < v.Problem.M; i++ {
+			for k := int32(0); int(k) < v.Problem.N; k++ {
+				want, err := ctrl.Route(i, k)
+				if err != nil {
+					return nil, err
+				}
+				got, err := c.Route(i, k)
+				if err != nil {
+					return nil, fmt.Errorf("sim: client %d route(%d,%d): %w", ci, i, k, err)
+				}
+				if got != want {
+					return nil, fmt.Errorf("sim: client %d route(%d,%d) = %d, controller says %d", ci, i, k, got, want)
+				}
+				out.ClientChecks++
+			}
+		}
+	}
+	stopFollow()
+	for range cs {
+		if err := <-done; err != nil && ctx.Err() == nil && err != context.Canceled {
+			return nil, fmt.Errorf("sim: follow: %w", err)
+		}
+	}
+
 	m, err := Replay(l, cm, v.Schema)
 	if err != nil {
 		return nil, err

@@ -28,12 +28,15 @@ func TestReplayOnlineMatchesAnalyticalOTC(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := ReplayOnline(context.Background(), ctrl, l, cm, 8, solvePerBatch)
+		rep, err := ReplayOnline(context.Background(), ctrl, l, cm, 8, solvePerBatch, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if rep.Batches != 8 || rep.Deltas == 0 {
 			t.Fatalf("solvePerBatch=%v: fed %d batches / %d deltas", solvePerBatch, rep.Batches, rep.Deltas)
+		}
+		if rep.Clients != 2 || rep.ClientChecks == 0 {
+			t.Fatalf("solvePerBatch=%v: %d clients verified over %d checks", solvePerBatch, rep.Clients, rep.ClientChecks)
 		}
 		if rep.Metrics.TransferCost != rep.FinalOTC {
 			t.Fatalf("solvePerBatch=%v: realized transfer cost %d != analytical OTC %d",
@@ -71,12 +74,12 @@ func TestReplayOnlineBadInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReplayOnline(context.Background(), ctrl, l, cm[:1], 4, false); err == nil {
+	if _, err := ReplayOnline(context.Background(), ctrl, l, cm[:1], 4, false, 0); err == nil {
 		t.Fatal("client map short of the trace's clients was accepted")
 	}
 	empty := *l
 	empty.Events = nil
-	if _, err := ReplayOnline(context.Background(), ctrl, &empty, cm, 4, false); err == nil {
+	if _, err := ReplayOnline(context.Background(), ctrl, &empty, cm, 4, false, 0); err == nil {
 		t.Fatal("empty trace was accepted")
 	}
 }
