@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all vet staticcheck build test race bench bench-json ci fuzz faultmatrix loadtest
+.PHONY: all vet staticcheck build test race bench bench-json ci fuzz faultmatrix loadtest scenarios
 
 all: build
 
@@ -77,10 +77,24 @@ loadtest:
 	$(GO) run ./cmd/benchjson -o BENCH_7.json < routing_bench.out
 	@rm -f routing_bench.out
 
+# The adversarial-workload scenario matrix. Tests: every registered method
+# through every scenario class (flash crowd, diurnal wave, correlated
+# failures, rolling topology) with epoch-stream clients verifying routes
+# bit-identically, leak-checked under the race detector, twice so generator
+# purity and the controller's churn paths cannot pass on one lucky
+# schedule. Bench: the full scenario x method matrix with per-tick
+# re-solves (savings-pct + solverwork/op columns), parsed into BENCH_8.json
+# for the CI compare gate.
+scenarios:
+	$(GO) test -race -count=2 -run 'TestScenario|TestRunScenario|TestCompose' ./internal/sim
+	$(GO) test -run '^$$' -bench 'ScenarioMatrix' -benchmem -benchtime 1x . | tee scenario_bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_8.json < scenario_bench.out
+	@rm -f scenario_bench.out
+
 # Short smoke of each fuzz target beyond its checked-in corpus.
 fuzz:
 	$(GO) test -fuzz FuzzSchemaPlaceRemove -fuzztime 10s ./internal/replication
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/topology
 	$(GO) test -fuzz FuzzDeltasDecoder -fuzztime 10s ./internal/server
 
-ci: vet staticcheck build race loadtest faultmatrix bench
+ci: vet staticcheck build race loadtest scenarios faultmatrix bench

@@ -7,7 +7,7 @@
 //	agtram -M 128 -N 800 -capacity 20 -rw 0.9
 //	agtram -method greedy -M 128 -N 800 -capacity 20 -rw 0.9
 //	agtram -method agt-ram -engine sync -M 64 -N 400
-//	agtram -all -M 128 -N 800   # run all six methods, print a comparison
+//	agtram -all -M 128 -N 800   # run every method, print a comparison
 //	agtram -json -M 64 -N 400   # machine-readable result on stdout
 package main
 
@@ -87,8 +87,8 @@ func main() {
 	eng := cliflags.AddEngine(flag.CommandLine)
 	prof := cliflags.AddProfile(flag.CommandLine)
 	var (
-		method  = flag.String("method", "agt-ram", "method: agt-ram|greedy|gra|ae-star|da|ea")
-		all     = flag.Bool("all", false, "run all six methods and print a comparison table")
+		method  = flag.String("method", "agt-ram", "method: agt-ram|greedy|gra|ae-star|da|ea|glauber")
+		all     = flag.Bool("all", false, "run every method and print a comparison table")
 		report  = flag.String("report", "", "write the solved placement as a JSON report to this file")
 		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON on stdout")

@@ -19,6 +19,11 @@
 //	GET  /metrics                   controller + HTTP metrics
 //	GET  /healthz                   liveness
 //
+// -scenario drives one of the built-in adversarial workloads (flash-crowd,
+// diurnal, failures, rolling) against the live controller, one delta batch
+// per -scenario-interval — a reproducible load generator for demos and
+// soak tests, no external client needed.
+//
 // On SIGTERM/SIGINT the daemon first drains the epoch stream — every
 // long-poll and SSE subscriber receives a terminal event so routing clients
 // stop cleanly instead of reconnecting — then stops accepting requests, and
@@ -39,6 +44,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +53,7 @@ import (
 	"repro/internal/online"
 	"repro/internal/replication"
 	"repro/internal/server"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -54,18 +61,24 @@ func main() {
 	eng := cliflags.AddEngine(flag.CommandLine)
 	var (
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		method   = flag.String("method", "agt-ram", "solver run on drift: agt-ram|greedy|gra|ae-star|da|ea")
+		method   = flag.String("method", "agt-ram", "solver run on drift: agt-ram|greedy|gra|ae-star|da|ea|glauber")
 		drift    = flag.Float64("drift", 1.0, "drift threshold in percentage points of savings (<= 0 disables auto-solve)")
 		debounce = flag.Duration("debounce", 2*time.Second, "minimum spacing between automatic re-solves")
 		snapshot = flag.String("snapshot", "", "placement snapshot path: restored on start, written on shutdown")
 		journal  = flag.Int("journal", online.DefaultJournal, "epoch-journal depth: placement diffs kept for GET /epochs replay before clients resync with a snapshot")
 		warm     = flag.Bool("warm", false, "seed re-solves with the live placement instead of solving cold (less churn, timing-dependent placements)")
 		debug    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profiling endpoints on the same listener)")
+
+		scenarioName = flag.String("scenario", "", "drive a built-in adversarial workload against the live controller: "+strings.Join(sim.ScenarioNames(), "|")+" (empty disables)")
+		scenarioTick = flag.Duration("scenario-interval", 2*time.Second, "spacing between -scenario delta batches")
 	)
 	flag.Parse()
 
 	if !repro.KnownMethod(repro.Method(*method)) {
 		fatal(fmt.Errorf("unknown -method %q", *method))
+	}
+	if *scenarioTick <= 0 {
+		fatal(fmt.Errorf("-scenario-interval %v is not positive", *scenarioTick))
 	}
 	faults, err := eng.Validate()
 	if err != nil {
@@ -80,6 +93,12 @@ func main() {
 		fatal(err)
 	}
 	p := in.Problem()
+	var scenario sim.Generator
+	if *scenarioName != "" {
+		if scenario, err = sim.NewScenario(*scenarioName, sim.ShapeOf(p), inst.Seed); err != nil {
+			fatal(err)
+		}
+	}
 	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{
 		Method:         *method,
 		Engine:         engineOpt(*method, eng.Engine),
@@ -130,6 +149,37 @@ func main() {
 		logf("solved: OTC %d, %.2f%% savings, %d replicas", m.OTC, m.Savings, m.Replicas)
 	}
 	ctrl.Start(ctx)
+
+	// The scenario driver feeds the generator's delta schedule through the
+	// live controller one batch per interval — the same POST /deltas path,
+	// in-process — so drift-triggered re-solves, the epoch stream and
+	// routing clients can be exercised against a reproducible adversarial
+	// workload without an external load generator.
+	if scenario != nil {
+		logf("driving scenario %s: %d ticks every %s", scenario.Name(), scenario.Ticks(), *scenarioTick)
+		go func() {
+			tick := time.NewTicker(*scenarioTick)
+			defer tick.Stop()
+			for t := 0; t < scenario.Ticks(); t++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				ds := scenario.Batch(t)
+				if len(ds) == 0 {
+					continue
+				}
+				if a, err := ctrl.ApplyDeltas(ds); err != nil {
+					logf("scenario %s tick %d: %v", scenario.Name(), t, err)
+				} else {
+					logf("scenario %s tick %d/%d: %d deltas -> epoch %d (drift %.2f)",
+						scenario.Name(), t+1, scenario.Ticks(), len(ds), a.Version, a.Drift)
+				}
+			}
+			logf("scenario %s complete", scenario.Name())
+		}()
+	}
 
 	// The pprof endpoints are opt-in and share the service listener: a mux
 	// claims /debug/pprof/ and hands everything else to the API handler.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [flags] fig3|fig4|table1|table2|update-ratio|regions|adaptive|multiseed|optgap|ablations|all
+//	paperbench [flags] fig3|fig4|table1|table2|update-ratio|regions|adaptive|scenarios|multiseed|optgap|ablations|all
 //
 // Flags:
 //
@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"update-ratio", bench.UpdateRatio},
 	{"regions", bench.Regions},
 	{"adaptive", bench.Adaptive},
+	{"scenarios", bench.Scenarios},
 	{"multiseed", func(ctx context.Context, cfg bench.Config) (*bench.Table, error) {
 		return bench.MultiSeed(ctx, cfg, 10)
 	}},
@@ -81,7 +82,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: paperbench [flags] fig3|fig4|table1|table2|update-ratio|regions|adaptive|multiseed|optgap|ablations|all")
+		fmt.Fprintln(os.Stderr, "usage: paperbench [flags] fig3|fig4|table1|table2|update-ratio|regions|adaptive|scenarios|multiseed|optgap|ablations|all")
 		os.Exit(2)
 	}
 	target := flag.Arg(0)

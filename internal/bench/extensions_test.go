@@ -3,6 +3,8 @@ package bench
 import (
 	"context"
 	"testing"
+
+	"repro"
 )
 
 func TestUpdateRatioSweep(t *testing.T) {
@@ -92,8 +94,8 @@ func TestMultiSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 6 {
-		t.Fatalf("got %d method rows", len(tab.Rows))
+	if len(tab.Rows) != len(repro.Methods()) {
+		t.Fatalf("got %d method rows, want %d", len(tab.Rows), len(repro.Methods()))
 	}
 	_ = cfg
 	var totalWins float64
@@ -112,9 +114,14 @@ func TestMultiSeed(t *testing.T) {
 	if totalWins < 4 {
 		t.Fatalf("only %v wins across 4 runs", totalWins)
 	}
-	// AGT-RAM must be among the most frequent winners.
+	// The paper's claim: AGT-RAM is among the most frequent winners of the
+	// six methods it compares. The Glauber annealing extension sits outside
+	// that claim and may legitimately out-win it.
 	var agtWins, maxWins float64
 	for i, row := range tab.Rows {
+		if row.Label == MethodLabel(repro.Glauber) {
+			continue
+		}
 		w, _ := tab.Value(i, "wins")
 		if row.Label == "AGT-RAM" {
 			agtWins = w
@@ -134,8 +141,8 @@ func TestOptimalityGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 6 {
-		t.Fatalf("got %d rows", len(tab.Rows))
+	if len(tab.Rows) != len(repro.Methods()) {
+		t.Fatalf("got %d rows, want %d", len(tab.Rows), len(repro.Methods()))
 	}
 	for i, row := range tab.Rows {
 		mean, _ := tab.Value(i, "mean gap %")

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func TestScenariosMatrixShape(t *testing.T) {
+	cfg := tiny()
+	// Two methods keep the 5x|methods| controller matrix quick; the full
+	// method sweep runs in the scenarios make target and paperbench.
+	cfg.Methods = []repro.Method{repro.Greedy, repro.Glauber}
+	tab, err := Scenarios(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(sim.ScenarioNames()) + 1 // + the steady anchor row
+	if len(tab.Rows) != wantRows || len(tab.Columns) != len(cfg.Methods) {
+		t.Fatalf("shape %dx%d, want %dx%d", len(tab.Rows), len(tab.Columns), wantRows, len(cfg.Methods))
+	}
+	if tab.Rows[wantRows-1].Label != "steady" {
+		t.Fatalf("last row %q, want the steady anchor", tab.Rows[wantRows-1].Label)
+	}
+	for i, row := range tab.Rows {
+		for _, col := range tab.Columns {
+			v, ok := tab.Value(i, col)
+			if !ok || v <= 0 {
+				t.Fatalf("%s/%s: savings %.2f", row.Label, col, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package glauber
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/replication"
+	"repro/internal/solver"
+)
+
+// glSolver adapts the Glauber chain to the solver registry.
+type glSolver struct{}
+
+func init() { solver.Register(glSolver{}) }
+
+func (glSolver) Name() string  { return "glauber" }
+func (glSolver) Label() string { return "Glauber" }
+func (glSolver) Description() string {
+	return "Glauber-dynamics annealing after Etesami: seeded single-site Metropolis flips, geometric cooling, zero-temperature quench"
+}
+
+func (glSolver) Solve(ctx context.Context, p *replication.Problem, opts solver.Options) (*solver.Outcome, error) {
+	if opts.Engine != "" {
+		return nil, fmt.Errorf("glauber: unknown engine %q (glauber has a single engine)", opts.Engine)
+	}
+	cfg := Config{
+		Sweeps: opts.GlauberSweeps,
+		Seed:   opts.Seed,
+		Warm:   opts.Warm,
+	}
+	out := &solver.Outcome{}
+	if opts.OnEvent != nil || opts.RecordEvents {
+		// The chain flips replicas in and out rather than committing them
+		// once, so its event stream is per sweep: Round is the sweep, Value
+		// the best OTC so far, Object/Server -1 (like GRA's generations).
+		cfg.OnSweep = func(sweep int, bestCost int64) {
+			out.Emit(opts, solver.Event{Round: sweep, Object: -1, Server: -1, Value: bestCost})
+		}
+	}
+	res, err := Solve(ctx, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Schema = res.Schema
+	out.Replicas = res.Schema.Placed()
+	out.Work = res.Evaluations
+	out.Rounds = len(res.History)
+	return out, nil
+}

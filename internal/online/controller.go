@@ -100,6 +100,10 @@ type Metrics struct {
 	DriftThreshold float64 `json:"drift_threshold"`
 	Replicas       int     `json:"replicas"`
 	SolvesRun      int64   `json:"solves_run"`
+	// SolverWork is the cumulative dominant-operation count across every
+	// solve this controller ran (valuations, benefit evaluations, ...),
+	// the cost axis the scenario benchmarks compare methods on.
+	SolverWork int64 `json:"solver_work"`
 	DeltasApplied  int64   `json:"deltas_applied"`
 	CarriedDrops   int64   `json:"carried_drops"`
 	Evictions      int64   `json:"evictions"`
@@ -128,6 +132,7 @@ type Controller struct {
 	drift         float64
 	lastSolveAt   time.Time
 	solvesRun     int64
+	solverWork    int64
 	deltasApplied int64
 	carriedDrops  int64
 	evictions     int64
@@ -330,6 +335,7 @@ func (c *Controller) SolveNow(ctx context.Context) error {
 	}
 	c.lastSolveErr = ""
 	c.solvesRun++
+	c.solverWork += out.Work
 	c.solvedSavings = out.Schema.Savings()
 	c.evictions += int64(len(out.Evictions))
 
@@ -402,6 +408,7 @@ func (c *Controller) Metrics() Metrics {
 		DriftThreshold: c.cfg.DriftThreshold,
 		Replicas:       v.Schema.Placed(),
 		SolvesRun:      c.solvesRun,
+		SolverWork:     c.solverWork,
 		DeltasApplied:  c.deltasApplied,
 		CarriedDrops:   c.carriedDrops,
 		Evictions:      c.evictions,

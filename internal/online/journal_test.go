@@ -140,6 +140,111 @@ func TestSubscribeFallsBackToSnapshot(t *testing.T) {
 	}
 }
 
+// TestJournalRingBoundaries pins the ring's exact edge: once the journal has
+// wrapped, a subscriber at version oldest-1 still replays the entire ring
+// (the oldest retained update is exactly its next version), while oldest-2 —
+// one version further back — must fall back to a snapshot.
+func TestJournalRingBoundaries(t *testing.T) {
+	testutil.LeakCheck(t)
+	const depth = 4
+	ctrl := newJournalController(t, 36, depth)
+	defer ctrl.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := ctrl.ApplyDeltas(demandDelta(i%3, int32(i%7), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := ctrl.Current().Version // 11: init + 10 deltas, ring holds 8..11
+	oldest := cur - depth + 1
+
+	// since = oldest-1: the full wrapped ring, every entry a chained diff.
+	sub := ctrl.Subscribe(oldest-1, 0)
+	defer ctrl.Unsubscribe(sub)
+	got := collect(sub)
+	if len(got) != depth {
+		t.Fatalf("since=oldest-1 replayed %d updates, want the full ring of %d", len(got), depth)
+	}
+	for i, u := range got {
+		if want := oldest + uint64(i); u.Version != want {
+			t.Fatalf("ring entry %d has version %d, want %d", i, u.Version, want)
+		}
+		if u.Diff == nil || u.Diff.From != u.Version-1 {
+			t.Fatalf("ring entry %d is not a chained diff: %+v", i, u)
+		}
+	}
+
+	// since = oldest-2: the ring no longer reaches back; one snapshot.
+	sub2 := ctrl.Subscribe(oldest-2, 0)
+	defer ctrl.Unsubscribe(sub2)
+	if got := collect(sub2); len(got) != 1 || got[0].Snapshot == nil || got[0].Version != cur {
+		t.Fatalf("since=oldest-2 got %d updates, want one snapshot of %d", len(got), cur)
+	}
+
+	// since = cur-1: the tail alone.
+	sub3 := ctrl.Subscribe(cur-1, 0)
+	defer ctrl.Unsubscribe(sub3)
+	if got := collect(sub3); len(got) != 1 || got[0].Version != cur || got[0].Diff == nil {
+		t.Fatalf("since=cur-1 got %v, want the single tail diff", got)
+	}
+}
+
+// TestSubscribeBacklogGapFreeProperty is the resume contract as a property:
+// for every journal depth, history length and since value, the catch-up
+// backlog is strictly increasing, diffs chain without gaps, the first diff
+// resumes exactly at since+1, and any snapshot stands alone at the current
+// version. No (depth, history, since) combination may yield a backlog a
+// client cannot apply.
+func TestSubscribeBacklogGapFreeProperty(t *testing.T) {
+	testutil.LeakCheck(t)
+	for _, depth := range []int{2, 4, 7, DefaultJournal} {
+		for _, publishes := range []int{0, 1, 3, 9, 70} {
+			ctrl := newJournalController(t, 37, depth)
+			for i := 0; i < publishes; i++ {
+				if _, err := ctrl.ApplyDeltas(demandDelta(i%5, int32(i%11), 15)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cur := ctrl.Current().Version
+			for since := uint64(0); since <= cur+2; since++ {
+				sub := ctrl.Subscribe(since, 0)
+				got := collect(sub)
+				ctrl.Unsubscribe(sub)
+				last := since
+				for i, u := range got {
+					switch {
+					case u.Snapshot != nil:
+						// A snapshot only ever leads the backlog: either the
+						// journaled origin (replayed from since=0) or a reset
+						// of the current epoch; diffs chain forward from it.
+						if i != 0 {
+							t.Fatalf("depth=%d publishes=%d since=%d: snapshot mid-backlog at %d: %+v",
+								depth, publishes, since, i, got)
+						}
+						if u.Version != cur && u.Version != since+1 {
+							t.Fatalf("depth=%d publishes=%d since=%d: leading snapshot at %d, want current %d or resume %d",
+								depth, publishes, since, u.Version, cur, since+1)
+						}
+						last = u.Version
+					case u.Diff != nil:
+						if u.Version != last+1 || u.Diff.From != last {
+							t.Fatalf("depth=%d publishes=%d since=%d: entry %d breaks the chain (have %d, diff %d->%d)",
+								depth, publishes, since, i, last, u.Diff.From, u.Version)
+						}
+						last = u.Version
+					default:
+						t.Fatalf("depth=%d publishes=%d since=%d: update %d is neither diff nor snapshot", depth, publishes, since, i)
+					}
+				}
+				if since <= cur && last != cur {
+					t.Fatalf("depth=%d publishes=%d since=%d: backlog ends at %d, not current %d",
+						depth, publishes, since, last, cur)
+				}
+			}
+			ctrl.Close()
+		}
+	}
+}
+
 // TestSlowSubscriberDropped checks the no-blocking guarantee: a subscriber
 // that never reads is dropped with ErrSlowSubscriber once its buffer fills,
 // and publishing never stalls.

@@ -3,6 +3,7 @@ package routing
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -229,6 +230,38 @@ func TestFollowStopsOnDrain(t *testing.T) {
 		t.Fatal("Follow did not stop on drain")
 	}
 	ctrl.Close()
+}
+
+// Regression: an HTTPSource whose client timeout cannot outlive the long-poll
+// window used to start anyway, so every parked poll died as a timeout and the
+// loop spun on backoff forever. Subscribe now rejects the configuration.
+func TestHTTPSourceTimeoutVsWait(t *testing.T) {
+	testutil.LeakCheck(t)
+	ctx := context.Background()
+	bad := []*HTTPSource{
+		{Base: "http://127.0.0.1:1", Client: &http.Client{Timeout: time.Second}, Wait: time.Second},
+		{Base: "http://127.0.0.1:1", Client: &http.Client{Timeout: 100 * time.Millisecond}, Wait: time.Second},
+	}
+	for _, s := range bad {
+		if _, _, err := s.Subscribe(ctx, 0); err == nil {
+			t.Fatalf("timeout %v <= wait %v accepted", s.Client.Timeout, s.Wait)
+		}
+	}
+	// Timeout comfortably above Wait — or unset on either side — is fine.
+	ok := []*HTTPSource{
+		{Base: "http://127.0.0.1:1", Client: &http.Client{Timeout: 2 * time.Second}, Wait: time.Second},
+		{Base: "http://127.0.0.1:1", Client: &http.Client{Timeout: time.Second}},
+		{Base: "http://127.0.0.1:1", Wait: time.Second},
+	}
+	for _, s := range ok {
+		ch, cancel, err := s.Subscribe(ctx, 0)
+		if err != nil {
+			t.Fatalf("valid source rejected: %v", err)
+		}
+		cancel()
+		for range ch {
+		}
+	}
 }
 
 // TestHTTPSourceEndToEnd follows a real daemon over the long-poll transport:

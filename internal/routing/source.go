@@ -52,8 +52,15 @@ type HTTPSource struct {
 
 // Subscribe starts a poll loop feeding a channel. The loop ends — closing the
 // channel — on context cancellation, on a terminal update, or on a decode
-// error; transient HTTP errors back off and retry.
+// error; transient HTTP errors back off and retry. A Client whose Timeout
+// does not exceed Wait is rejected up front: such a source can never complete
+// a quiet poll — every parked request dies as a client-side timeout and the
+// loop degenerates into a silent retry storm.
 func (s *HTTPSource) Subscribe(ctx context.Context, since uint64) (<-chan *online.Update, func(), error) {
+	if s.Client != nil && s.Client.Timeout > 0 && s.Wait > 0 && s.Client.Timeout <= s.Wait {
+		return nil, nil, fmt.Errorf("routing: HTTPSource client timeout %v must exceed long-poll wait %v",
+			s.Client.Timeout, s.Wait)
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	ch := make(chan *online.Update, 16)
 	go func() {

@@ -52,6 +52,12 @@ func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait: %w", err))
 			return
 		}
+		if d <= 0 {
+			// A zero or negative window would degenerate the long poll into a
+			// busy-looping reconnect storm; make the client choose a real one.
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait: %v is not positive", d))
+			return
+		}
 		if d > maxWait {
 			d = maxWait
 		}
@@ -75,7 +81,7 @@ func (s *Server) serveEpochPoll(w http.ResponseWriter, r *http.Request, since ui
 		return true
 	}
 	// Catch-up first: everything already buffered goes out without waiting.
-	drained := false
+	drained, bad := false, false
 drain:
 	for {
 		select {
@@ -84,7 +90,14 @@ drain:
 				drained = true
 				break drain
 			}
-			appendUpdate(u)
+			if !appendUpdate(u) {
+				// An update that will not marshal must not punch a version gap
+				// into the array: stop here and ship only the intact prefix,
+				// exactly as the post-park sweep does. The client resumes from
+				// its last good version on the next poll.
+				bad = true
+				break drain
+			}
 			if u.Terminal {
 				drained = true
 				break drain
@@ -92,6 +105,10 @@ drain:
 		default:
 			break drain
 		}
+	}
+	if bad && len(updates) == 0 {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("epochs: update failed to encode"))
+		return
 	}
 	// Nothing buffered: park for the window's first publish, then sweep once
 	// more so a burst goes out as one array.

@@ -187,6 +187,31 @@ func TestEpochsLongPoll(t *testing.T) {
 	}
 }
 
+// Regression: wait=0 (and any negative duration) used to slip past the
+// upper-bound clamp and turn the long poll into an instant-return busy loop.
+// Non-positive windows are a client error now; small positive ones still work.
+func TestEpochsWaitValidation(t *testing.T) {
+	testutil.LeakCheck(t)
+	_, ts := newTestServer(t, 19, online.Config{})
+
+	code, updates := pollEpochs(t, ts.URL, 0, "1s")
+	if code != http.StatusOK || len(updates) == 0 {
+		t.Fatalf("cold poll: status %d, %d updates", code, len(updates))
+	}
+	last := updates[len(updates)-1].Version
+
+	for _, wait := range []string{"0", "0s", "-1s", "-250ms"} {
+		if code, _ := pollEpochs(t, ts.URL, last, wait); code != http.StatusBadRequest {
+			t.Fatalf("wait=%s: status %d, want 400", wait, code)
+		}
+	}
+	// The floor is strict positivity, not a minimum window: tiny waits stay
+	// usable for tests and impatient pollers.
+	if code, _ := pollEpochs(t, ts.URL, last, "1ms"); code != http.StatusNoContent {
+		t.Fatalf("wait=1ms caught up: status %d, want 204", code)
+	}
+}
+
 func TestEpochsSSEDrain(t *testing.T) {
 	testutil.LeakCheck(t)
 	ctrl, ts := newTestServer(t, 14, online.Config{})

@@ -3,10 +3,8 @@ package sim
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"repro/internal/online"
-	"repro/internal/routing"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -58,16 +56,8 @@ func ReplayOnline(ctx context.Context, ctrl *online.Controller, l *trace.Log, cm
 		return nil, fmt.Errorf("sim: trace has no events")
 	}
 
-	followCtx, stopFollow := context.WithCancel(ctx)
-	defer stopFollow()
-	cs := make([]*routing.Client, clients)
-	done := make(chan error, clients)
-	for i := range cs {
-		cs[i] = routing.NewClient(ctrl.Current().Problem.Cost)
-		go func(c *routing.Client) {
-			done <- routing.Follow(followCtx, c, &routing.ControllerSource{Ctrl: ctrl})
-		}(cs[i])
-	}
+	f := startFollowers(ctx, ctrl, clients)
+	defer f.stop()
 
 	servers := ctrl.Current().Problem.M
 	out := &OnlineReplay{Clients: clients}
@@ -102,32 +92,10 @@ func ReplayOnline(ctx context.Context, ctrl *online.Controller, l *trace.Log, cm
 	// Converge every client onto the final epoch and check its routing table
 	// answers exactly like the controller — the epoch stream carried the
 	// placement through every intermediate version without divergence.
-	for ci, c := range cs {
-		if err := c.WaitVersion(ctx, v.Version, 5*time.Second); err != nil {
-			return nil, fmt.Errorf("sim: client %d: %w", ci, err)
-		}
-		for i := 0; i < v.Problem.M; i++ {
-			for k := int32(0); int(k) < v.Problem.N; k++ {
-				want, err := ctrl.Route(i, k)
-				if err != nil {
-					return nil, err
-				}
-				got, err := c.Route(i, k)
-				if err != nil {
-					return nil, fmt.Errorf("sim: client %d route(%d,%d): %w", ci, i, k, err)
-				}
-				if got != want {
-					return nil, fmt.Errorf("sim: client %d route(%d,%d) = %d, controller says %d", ci, i, k, got, want)
-				}
-				out.ClientChecks++
-			}
-		}
-	}
-	stopFollow()
-	for range cs {
-		if err := <-done; err != nil && ctx.Err() == nil && err != context.Canceled {
-			return nil, fmt.Errorf("sim: follow: %w", err)
-		}
+	checks, err := f.converge(ctx, ctrl, v)
+	out.ClientChecks = checks
+	if err != nil {
+		return nil, err
 	}
 
 	m, err := Replay(l, cm, v.Schema)

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/online"
+	"repro/internal/replication"
+	"repro/internal/solver"
+	"repro/internal/testutil"
+
+	// The scenario matrix runs every registered method through the
+	// controller; register them all.
+	_ "repro/internal/agtram"
+	_ "repro/internal/astar"
+	_ "repro/internal/auction"
+	_ "repro/internal/genetic"
+	_ "repro/internal/glauber"
+	_ "repro/internal/greedy"
+)
+
+func scenarioProblem(t testing.TB, seed int64) *replication.Problem {
+	t.Helper()
+	return testutil.MustBuild(testutil.Small(seed))
+}
+
+func scenarioController(t testing.TB, p *replication.Problem, method string) *online.Controller {
+	t.Helper()
+	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{Method: method, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+func allBatches(g Generator) [][]online.Delta {
+	out := make([][]online.Delta, g.Ticks())
+	for t := range out {
+		out[t] = g.Batch(t)
+	}
+	return out
+}
+
+// Generators are pure: the same (shape, seed) reproduces the identical
+// schedule, and Batch is stable across calls.
+func TestScenarioGeneratorsDeterministic(t *testing.T) {
+	p := scenarioProblem(t, 31)
+	shape := ShapeOf(p)
+	for _, name := range ScenarioNames() {
+		a, err := NewScenario(name, shape, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewScenario(name, shape, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != name || a.Ticks() <= 0 {
+			t.Fatalf("%s: name %q, %d ticks", name, a.Name(), a.Ticks())
+		}
+		if !reflect.DeepEqual(allBatches(a), allBatches(b)) {
+			t.Fatalf("%s: two constructions from one seed diverge", name)
+		}
+		if !reflect.DeepEqual(a.Batch(0), a.Batch(0)) {
+			t.Fatalf("%s: Batch is not stable", name)
+		}
+		if a.Batch(-1) != nil || a.Batch(a.Ticks()) != nil {
+			t.Fatalf("%s: out-of-range ticks must be empty", name)
+		}
+	}
+}
+
+// The demand scenarios are net zero: every read they add, they later take
+// back, so the workload ends where it started and only the path differed.
+func TestScenarioDemandNetZero(t *testing.T) {
+	p := scenarioProblem(t, 32)
+	shape := ShapeOf(p)
+	for _, gen := range []Generator{NewFlashCrowd(shape, 9), NewDiurnalWave(shape, 9)} {
+		type cell struct {
+			s int
+			o int32
+		}
+		sum := map[cell]int64{}
+		for _, batch := range allBatches(gen) {
+			for _, d := range batch {
+				if d.Kind != online.KindDemand {
+					t.Fatalf("%s: unexpected %s delta in a demand scenario", gen.Name(), d.Kind)
+				}
+				sum[cell{d.Server, d.Object}] += d.Reads
+			}
+		}
+		if len(sum) == 0 {
+			t.Fatalf("%s: empty schedule", gen.Name())
+		}
+		for c, v := range sum {
+			if v != 0 {
+				t.Fatalf("%s: cell (%d,%d) ends %+d reads from where it started", gen.Name(), c.s, c.o, v)
+			}
+		}
+	}
+}
+
+// Every canonical schedule applies cleanly through the controller's
+// validation, and the topology scenarios return every server to service.
+func TestScenarioBatchesApplyCleanly(t *testing.T) {
+	p := scenarioProblem(t, 33)
+	shape := ShapeOf(p)
+	for _, name := range ScenarioNames() {
+		gen, err := NewScenario(name, shape, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl := scenarioController(t, p, "greedy")
+		for tick := 0; tick < gen.Ticks(); tick++ {
+			ds := gen.Batch(tick)
+			if len(ds) == 0 {
+				continue
+			}
+			if _, err := ctrl.ApplyDeltas(ds); err != nil {
+				t.Fatalf("%s tick %d: %v", name, tick, err)
+			}
+		}
+		m := ctrl.Metrics()
+		if m.ActiveServers != p.M {
+			t.Fatalf("%s: %d of %d servers active after the schedule", name, m.ActiveServers, p.M)
+		}
+		if err := ctrl.Current().Schema.ValidateInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// The acceptance matrix: every registered method survives every scenario
+// class, produces a feasible improving placement, and the epoch stream
+// carries the churn to routing clients bit-identically.
+func TestScenarioMatrixAllMethods(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := scenarioProblem(t, 34)
+	shape := ShapeOf(p)
+	for _, method := range solver.Names() {
+		for _, gen := range ScenarioMatrix(shape, 13) {
+			ctrl := scenarioController(t, p, method)
+			res, err := RunScenario(context.Background(), ctrl, gen, false, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", method, gen.Name(), err)
+			}
+			if res.Batches == 0 || res.Deltas == 0 {
+				t.Fatalf("%s/%s: empty run %+v", method, gen.Name(), res)
+			}
+			if res.Solves < 1 || res.SolverWork <= 0 {
+				t.Fatalf("%s/%s: solves %d work %d", method, gen.Name(), res.Solves, res.SolverWork)
+			}
+			if res.FinalSavings <= 0 {
+				t.Fatalf("%s/%s: final savings %.2f", method, gen.Name(), res.FinalSavings)
+			}
+			if res.Clients != 1 || res.ClientChecks == 0 {
+				t.Fatalf("%s/%s: %d clients, %d checks", method, gen.Name(), res.Clients, res.ClientChecks)
+			}
+			if err := ctrl.Current().Schema.ValidateInvariants(); err != nil {
+				t.Fatalf("%s/%s: %v", method, gen.Name(), err)
+			}
+			ctrl.Close()
+		}
+	}
+}
+
+// Per-tick solving exercises warm carry-over against topology churn: the
+// placement survives every intermediate instance.
+func TestScenarioSolvePerTick(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := scenarioProblem(t, 35)
+	gen := NewRollingTopology(ShapeOf(p), 17)
+	ctrl := scenarioController(t, p, "glauber")
+	res, err := RunScenario(context.Background(), ctrl, gen, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solves != int64(res.Batches) {
+		t.Fatalf("solvePerTick ran %d solves over %d batches", res.Solves, res.Batches)
+	}
+	wantChecks := 2 * p.M * p.N
+	if res.ClientChecks != wantChecks {
+		t.Fatalf("%d client checks, want %d", res.ClientChecks, wantChecks)
+	}
+	ctrl.Close()
+}
+
+func TestRunScenarioHonoursContext(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := scenarioProblem(t, 36)
+	ctrl := scenarioController(t, p, "greedy")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunScenario(ctx, ctrl, NewFlashCrowd(ShapeOf(p), 1), false, 0); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+	ctrl.Close()
+}
+
+func TestComposeAndNames(t *testing.T) {
+	p := scenarioProblem(t, 37)
+	shape := ShapeOf(p)
+	a, b := NewFlashCrowd(shape, 3), NewDiurnalWave(shape, 3)
+	c := Compose("mixed", a, b)
+	if c.Name() != "mixed" {
+		t.Fatalf("name %q", c.Name())
+	}
+	want := a.Ticks()
+	if b.Ticks() > want {
+		want = b.Ticks()
+	}
+	if c.Ticks() != want {
+		t.Fatalf("compose ticks %d, want max %d", c.Ticks(), want)
+	}
+	if len(c.Batch(0)) != len(a.Batch(0))+len(b.Batch(0)) {
+		t.Fatal("compose lost deltas at tick 0")
+	}
+	if _, err := NewScenario("nope", shape, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if len(ScenarioNames()) != 4 {
+		t.Fatalf("%d scenario classes, want 4", len(ScenarioNames()))
+	}
+}

@@ -58,6 +58,9 @@ type Options struct {
 	// GRAGenerations bounds the genetic method's generations; 0 means the
 	// method default.
 	GRAGenerations int
+	// GlauberSweeps bounds the Glauber chain's annealing sweeps; 0 means
+	// the method default.
+	GlauberSweeps int
 	// RoundTimeout bounds each per-agent read/write in the AGT-RAM wire
 	// engines (network, tcp); an agent that misses a deadline is evicted.
 	// Zero means no deadline. Rejected by other methods and engines.

@@ -2,9 +2,9 @@
 // Data Replication Problem (DRP) instances — from a statistical model, or
 // from synthetic World Cup 1998-style access traces — and solving them with
 // the paper's semi-distributed axiomatic game-theoretical mechanism
-// (AGT-RAM) or any of the five baselines the paper compares against
+// (AGT-RAM), any of the five baselines the paper compares against
 // (greedy, genetic/GRA, Aε-Star branch and bound, Dutch auction, English
-// auction).
+// auction), or the Glauber-dynamics annealing extension.
 //
 // A minimal session:
 //
@@ -43,6 +43,7 @@ import (
 	_ "repro/internal/astar"
 	_ "repro/internal/auction"
 	_ "repro/internal/genetic"
+	_ "repro/internal/glauber"
 	_ "repro/internal/greedy"
 )
 
@@ -289,7 +290,8 @@ func (in *Instance) Problem() *replication.Problem { return in.prob }
 // Method identifies a replica placement method.
 type Method string
 
-// The six methods of the paper's comparison.
+// The six methods of the paper's comparison, plus the Glauber-dynamics
+// annealing extension (Etesami, PAPERS.md).
 const (
 	AGTRAM         Method = "agt-ram"
 	Greedy         Method = "greedy"
@@ -297,11 +299,13 @@ const (
 	AeStar         Method = "ae-star"
 	DutchAuction   Method = "da"
 	EnglishAuction Method = "ea"
+	Glauber        Method = "glauber"
 )
 
-// Methods lists all six methods in the paper's presentation order.
+// Methods lists every method: the paper's six in its presentation order,
+// then the Glauber extension.
 func Methods() []Method {
-	return []Method{GRA, AeStar, Greedy, AGTRAM, DutchAuction, EnglishAuction}
+	return []Method{GRA, AeStar, Greedy, AGTRAM, DutchAuction, EnglishAuction, Glauber}
 }
 
 // KnownMethod reports whether m resolves through the solver registry.
@@ -332,7 +336,7 @@ type MethodInfo struct {
 // description its solver registered. The README's method table is generated
 // from (and tested against) this, so the docs cannot drift from the code.
 func MethodTable() []MethodInfo {
-	out := make([]MethodInfo, 0, 6)
+	out := make([]MethodInfo, 0, len(Methods()))
 	for _, m := range Methods() {
 		mi := MethodInfo{Method: m, Label: string(m)}
 		if s, ok := solver.Lookup(string(m)); ok {
@@ -376,6 +380,8 @@ type Options struct {
 	ExactValuation bool
 	// GRAGenerations overrides the GA's generation budget.
 	GRAGenerations int
+	// GlauberSweeps overrides the Glauber chain's annealing-sweep budget.
+	GlauberSweeps int
 	// RoundTimeout bounds each per-agent bid read and award write in the
 	// AGT-RAM wire engines (Network, TCPAddr); an agent that misses a
 	// deadline is evicted from the game and the auction continues over the
@@ -452,6 +458,7 @@ func (o Options) solverOptions() (solver.Options, error) {
 		FirstPrice:     o.FirstPrice,
 		ExactValuation: o.ExactValuation,
 		GRAGenerations: o.GRAGenerations,
+		GlauberSweeps:  o.GlauberSweeps,
 		RoundTimeout:   o.RoundTimeout,
 		Faults:         o.Faults,
 		RecordEvents:   o.RecordEvents,

@@ -1,0 +1,53 @@
+// BenchmarkScenarioMatrix drives every placement method through the four
+// adversarial workload scenarios — flash crowd, diurnal wave, correlated
+// failures, rolling topology — re-solving after every tick. Each cell
+// reports wall time per full scenario plus the final OTC savings and the
+// cumulative solver work, parsed into BENCH_8.json by `make scenarios` for
+// the CI compare gate.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+)
+
+func BenchmarkScenarioMatrix(b *testing.B) {
+	p := testutil.MustBuild(testutil.Small(42))
+	shape := sim.ShapeOf(p)
+	for _, name := range sim.ScenarioNames() {
+		for _, method := range repro.Methods() {
+			b.Run(fmt.Sprintf("%s/%s", name, method), func(b *testing.B) {
+				var savings float64
+				var work int64
+				for i := 0; i < b.N; i++ {
+					gen, err := sim.NewScenario(name, shape, 42)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{
+						Method: string(method), Seed: stats.Mix64(42, int64(len(method))),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := sim.RunScenario(context.Background(), ctrl, gen, true, 0)
+					ctrl.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					savings = res.FinalSavings
+					work += res.SolverWork
+				}
+				b.ReportMetric(savings, "savings-pct")
+				b.ReportMetric(float64(work)/float64(b.N), "solverwork/op")
+			})
+		}
+	}
+}

@@ -72,7 +72,7 @@ func TestOptionConflicts(t *testing.T) {
 // Engine selections are AGT-RAM-only: the single-engine baselines must
 // reject them instead of silently ignoring them.
 func TestEngineRejectedForBaselines(t *testing.T) {
-	for _, m := range []repro.Method{repro.Greedy, repro.GRA, repro.AeStar, repro.DutchAuction, repro.EnglishAuction} {
+	for _, m := range []repro.Method{repro.Greedy, repro.GRA, repro.AeStar, repro.DutchAuction, repro.EnglishAuction, repro.Glauber} {
 		inst, err := repro.NewInstance(smallConfig(52))
 		if err != nil {
 			t.Fatal(err)
