@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all vet staticcheck build test race bench bench-json ci fuzz faultmatrix loadtest scenarios
+.PHONY: all vet staticcheck build test race bench bench-json ci fuzz faultmatrix loadtest scenarios cluster
 
 all: build
 
@@ -91,10 +91,27 @@ scenarios:
 	$(GO) run ./cmd/benchjson -o BENCH_8.json < scenario_bench.out
 	@rm -f scenario_bench.out
 
+# The cluster plane's differential and fault suites. Differential: a
+# 1-shard cluster must reproduce the single daemon bit-identically —
+# placements, payments, versions, route answers — across deltas, solves and
+# membership churn. Fault matrix: coordinator crash mid-epoch (shards
+# degrade to autonomous and recover), shard eviction (re-partition onto the
+# survivors, stale-generation fencing over real RPC), plus the RPC/
+# membership transports and the hierarchy failure modes the degradation
+# switch reuses — all leak-checked under the race detector, twice so probe
+# loops and teardown cannot pass on one lucky schedule. Bench: multi-shard
+# vs single-daemon solve wall-clock at M=1000, parsed into BENCH_9.json.
+cluster:
+	$(GO) test -race -count=2 ./internal/cluster
+	$(GO) test -race -count=2 -run 'TestTopFails|TestFailedRegions|TestAllRegionsFailed|TestCancelledDuringDegraded' ./internal/hierarchy
+	$(GO) test -run '^$$' -bench 'ClusterSolve' -benchmem -benchtime 1x ./internal/cluster | tee cluster_bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_9.json < cluster_bench.out
+	@rm -f cluster_bench.out
+
 # Short smoke of each fuzz target beyond its checked-in corpus.
 fuzz:
 	$(GO) test -fuzz FuzzSchemaPlaceRemove -fuzztime 10s ./internal/replication
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/topology
 	$(GO) test -fuzz FuzzDeltasDecoder -fuzztime 10s ./internal/server
 
-ci: vet staticcheck build race loadtest scenarios faultmatrix bench
+ci: vet staticcheck build race loadtest scenarios faultmatrix cluster bench

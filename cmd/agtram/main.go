@@ -139,13 +139,14 @@ func main() {
 		fatal(err)
 	}
 	opts := &repro.Options{
-		Workers:      eng.Workers,
-		Seed:         icfg.Seed,
-		Sync:         eng.Engine == "sync",
-		Distributed:  eng.Engine == "distributed",
-		Network:      eng.Engine == "network",
-		RoundTimeout: eng.RoundTimeout,
-		Faults:       faults,
+		Workers:       eng.Workers,
+		Seed:          icfg.Seed,
+		Sync:          eng.Engine == "sync",
+		Distributed:   eng.Engine == "distributed",
+		Network:       eng.Engine == "network",
+		RoundTimeout:  eng.RoundTimeout,
+		GlauberSweeps: eng.GlauberSweeps,
+		Faults:        faults,
 	}
 	if eng.Engine == "tcp" {
 		opts.TCPAddr = "127.0.0.1:0"

@@ -50,6 +50,7 @@ import (
 
 	"repro"
 	"repro/cmd/internal/cliflags"
+	"repro/internal/cluster"
 	"repro/internal/online"
 	"repro/internal/replication"
 	"repro/internal/server"
@@ -71,6 +72,14 @@ func main() {
 
 		scenarioName = flag.String("scenario", "", "drive a built-in adversarial workload against the live controller: "+strings.Join(sim.ScenarioNames(), "|")+" (empty disables)")
 		scenarioTick = flag.Duration("scenario-interval", 2*time.Second, "spacing between -scenario delta batches")
+
+		clusterRole = flag.String("cluster", "", "cluster role: coordinator|shard (empty runs the single daemon)")
+		rpcAddr     = flag.String("rpc", ":9090", "cluster mode: RPC listen address for the inter-daemon plane")
+		shardID     = flag.Int("shard", 0, "cluster shard mode: this shard's id (index into the coordinator's -peers list)")
+		peers       = flag.String("peers", "", "cluster coordinator mode: comma-separated shard RPC addresses, shard i at position i")
+		coordAddr   = flag.String("coordinator", "", "cluster shard mode: the coordinator's RPC address (empty runs the shard standalone-autonomous)")
+		codecName   = flag.String("codec", "gob", "cluster mode: RPC frame codec, gob|json")
+		probeEvery  = flag.Duration("probe-interval", 2*time.Second, "cluster mode: health-probe spacing for the failure detector")
 	)
 	flag.Parse()
 
@@ -99,24 +108,53 @@ func main() {
 			fatal(err)
 		}
 	}
-	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, online.Config{
+	ccfg := online.Config{
 		Method:         *method,
 		Engine:         engineOpt(*method, eng.Engine),
 		Workers:        eng.Workers,
 		Seed:           inst.Seed,
 		RoundTimeout:   eng.RoundTimeout,
+		GlauberSweeps:  eng.GlauberSweeps,
 		Faults:         faults,
 		DriftThreshold: *drift,
 		SolveDebounce:  *debounce,
 		WarmStart:      *warm,
 		Journal:        *journal,
-	})
-	if err != nil {
-		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Cluster mode replaces the single controller with a regional shard or
+	// the coordinating mirror; the same instance/engine/drift flags describe
+	// the global game, so a single-daemon configuration lifts onto the
+	// cluster unchanged.
+	if *clusterRole != "" {
+		codec, err := cluster.ParseCodec(*codecName)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runClusterMode(ctx, p, ccfg, clusterArgs{
+			role:          *clusterRole,
+			rpcAddr:       *rpcAddr,
+			httpAddr:      *addr,
+			shardID:       *shardID,
+			peers:         *peers,
+			coordinator:   *coordAddr,
+			codec:         codec,
+			probeInterval: *probeEvery,
+			scenario:      scenario,
+			scenarioTick:  *scenarioTick,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ctrl, err := online.New(p.Cost, p.Work, p.Capacity, ccfg)
+	if err != nil {
+		fatal(err)
+	}
 
 	// A snapshot written after shape-changing deltas (add-object,
 	// server-join growth) no longer fits a fresh instance built from the

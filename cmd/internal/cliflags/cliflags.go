@@ -124,14 +124,15 @@ func (p *Profile) Start() (stop func() error, err error) {
 
 // Engine collects the AGT-RAM engine-selection and fault-injection flags.
 type Engine struct {
-	Engine       string
-	Workers      int
-	RoundTimeout time.Duration
-	FaultDrop    float64
-	FaultDelay   time.Duration
-	FaultCrash   string
-	FaultDial    string
-	FaultSeed    int64
+	Engine        string
+	Workers       int
+	RoundTimeout  time.Duration
+	GlauberSweeps int
+	FaultDrop     float64
+	FaultDelay    time.Duration
+	FaultCrash    string
+	FaultDial     string
+	FaultSeed     int64
 }
 
 // AddEngine registers the engine flags on fs.
@@ -140,6 +141,7 @@ func AddEngine(fs *flag.FlagSet) *Engine {
 	fs.StringVar(&e.Engine, "engine", "incremental", "AGT-RAM engine: incremental|sync|distributed|network|tcp")
 	fs.IntVar(&e.Workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	fs.DurationVar(&e.RoundTimeout, "round-timeout", 0, "wire engines: per-agent bid/award deadline; agents that miss it are evicted (0 = none)")
+	fs.IntVar(&e.GlauberSweeps, "glauber-sweeps", 0, "glauber method: annealing-sweep budget (0 = adaptive default scaling with M*N)")
 	fs.Float64Var(&e.FaultDrop, "fault-drop", 0, "wire engines: per-write probability that an agent's link severs, in [0,1]")
 	fs.DurationVar(&e.FaultDelay, "fault-delay", 0, "wire engines: delay injected before every agent write")
 	fs.StringVar(&e.FaultCrash, "fault-crash", "", "wire engines: comma-separated agent:round crash schedule (e.g. 3:2,7:1)")

@@ -147,4 +147,11 @@ func main() {
 	}
 	fmt.Printf("c(i,j):    %s (sampled, %d source rows)\n", stats.Summarize(costs), srcs)
 	fmt.Printf("diameter:  >= %d (sampled)\n", maxSeen)
+	if cs, ok := cost.(interface{ Stats() distoracle.CacheStats }); ok {
+		// The sampling above exercised the row cache; its counters show what
+		// the budgeted oracle would do under this access pattern.
+		st := cs.Stats()
+		fmt.Printf("row cache: %d hits, %d misses, %d evictions, %d rows resident\n",
+			st.Hits, st.Misses, st.Evictions, st.CachedRows)
+	}
 }

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+
+	_ "repro/internal/agtram" // register the agt-ram solver
+	"repro/internal/online"
+	"repro/internal/replication"
+	"repro/internal/testutil"
+)
+
+// benchProblem is the M=1000 instance behind BENCH_9.json: the scale the
+// issue's acceptance gate names, big enough that regional games have real
+// work to split.
+func benchProblem(b *testing.B) *replication.Problem {
+	b.Helper()
+	p, err := testutil.Build(testutil.InstanceConfig{
+		Servers:         1000,
+		Objects:         3000,
+		Requests:        180000,
+		RWRatio:         0.9,
+		CapacityPercent: 20,
+		EdgeP:           0.05,
+		Seed:            42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkClusterSolve compares one full cluster solve — regional games in
+// parallel over loopback TCP plus the top-level merge — against the single
+// daemon solving the whole instance, at M=1000. The savings-pct metric
+// records what sharding costs in placement quality (regions cannot place
+// replicas across region borders), the ns/op column what it buys in
+// wall-clock.
+func BenchmarkClusterSolve(b *testing.B) {
+	p := benchProblem(b)
+	cfg := online.Config{Seed: 42}
+	ctx := context.Background()
+
+	b.Run("single", func(b *testing.B) {
+		ctrl, err := online.New(p.Cost, p.Work, p.Capacity, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ctrl.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ctrl.SolveNow(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(ctrl.Metrics().Savings, "savings-pct")
+	})
+
+	for _, shards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var addrs []string
+			var shs []*Shard
+			for i := 0; i < shards; i++ {
+				sh := NewShard(i, p.Cost, ShardConfig{Codec: CodecGob, Controller: cfg})
+				lis, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sh.Serve(lis)
+				defer sh.Close()
+				shs = append(shs, sh)
+				addrs = append(addrs, sh.Addr())
+			}
+			co, err := NewCoordinator(p, addrs, CoordinatorConfig{Codec: CodecGob, Controller: cfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer co.Close()
+			if err := co.AssignNow(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := co.SolveNow(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(co.Metrics().Savings, "savings-pct")
+		})
+	}
+}

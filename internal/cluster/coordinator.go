@@ -1,0 +1,604 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hierarchy"
+	"repro/internal/mechanism"
+	"repro/internal/online"
+	"repro/internal/replication"
+)
+
+// CoordinatorConfig tunes the coordinator.
+type CoordinatorConfig struct {
+	// Codec is the RPC codec (must match the shards').
+	Codec Codec
+	// Controller configures the global mirror and sets the cluster-wide
+	// drift semantics: DriftThreshold/SolveDebounce decide when the
+	// coordinator fans a solve out to the shards, exactly like the single
+	// daemon's auto-solve. The mirror itself never runs a solver.
+	Controller online.Config
+	// ProbeTimeout and DeathThreshold tune the shard failure detector.
+	ProbeTimeout   time.Duration
+	DeathThreshold int
+	// ForwardTimeout bounds every forwarded RPC (assign, deltas, solve,
+	// placement, metrics); default 30s — regional solves run inside it.
+	ForwardTimeout time.Duration
+	// Payment is the top-level delegate game's payment rule (default
+	// second-price, the paper's truthful choice).
+	Payment mechanism.PaymentRule
+	// Dial overrides the dialer per shard (fault injection).
+	Dial func(peer Peer) DialFunc
+}
+
+// MergeReport summarizes one top-level merge.
+type MergeReport struct {
+	// Version is the mirror epoch the merged placement was published as.
+	Version uint64 `json:"version"`
+	// Regions is how many regional placements contributed.
+	Regions int `json:"regions"`
+	// Winner is the delegate game's winning shard (-1 when no region bid).
+	Winner int `json:"winner"`
+	// Payment is the winner's second-price payment (the best runner-up
+	// region's saved OTC).
+	Payment int64 `json:"payment"`
+	// Dropped counts merged replicas infeasible on the mirror instance.
+	Dropped int `json:"dropped"`
+	// OTC and Savings are the merged placement's economics.
+	OTC     int64   `json:"otc"`
+	Savings float64 `json:"savings_percent"`
+}
+
+// Coordinator is the cluster's top level: it mirrors the global state (the
+// source of truth deltas apply to), partitions servers into regions by
+// communication-cost proximity, ships masked regions to shard daemons, runs
+// their games concurrently, and merges the winners through the paper's
+// top-level delegate game. It implements server.Backend, so the single
+// daemon's entire HTTP surface — /route, /epochs, /placement, /metrics —
+// serves the merged placement unchanged.
+type Coordinator struct {
+	cfg        CoordinatorConfig
+	mirror     *online.Controller
+	shards     []Peer
+	membership *Membership
+	ep         *Endpoint
+
+	// opMu serializes the state-changing operations (deltas, assign, solve,
+	// merge) so an assignment always ships a consistent (state, carry) pair.
+	// The read path (Route/Current) never takes it.
+	opMu sync.Mutex
+
+	mu               sync.Mutex
+	assignVer        uint64
+	regions          map[int][]int32 // live assignment: shard id -> members
+	regionOf         []int32         // server -> shard id, -1 unassigned
+	repartitions     int64
+	merges           int64
+	topDecisions     int64
+	delegatePayments map[int]int64
+	lastWinner       int
+	forwardErrors    int64
+	lastPayments     []int64
+	lastErr          string
+
+	reassignKick chan struct{}
+	solveKick    chan struct{}
+	loopCancel   context.CancelFunc
+	wg           sync.WaitGroup
+}
+
+// NewCoordinator builds the coordinator over the global instance and the
+// static shard address list (shard i is addrs[i]). Call Serve to answer
+// probes and Start for the background loops; the cluster forms on the first
+// AssignNow.
+func NewCoordinator(p *replication.Problem, shardAddrs []string, cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(shardAddrs) == 0 {
+		return nil, errors.New("cluster: coordinator needs at least one shard address")
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 30 * time.Second
+	}
+	mirror, err := online.New(p.Cost, p.Work, p.Capacity, cfg.Controller)
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		cfg:              cfg,
+		mirror:           mirror,
+		ep:               NewEndpoint(cfg.Codec),
+		regions:          map[int][]int32{},
+		regionOf:         make([]int32, p.M),
+		delegatePayments: map[int]int64{},
+		lastWinner:       -1,
+		reassignKick:     make(chan struct{}, 1),
+		solveKick:        make(chan struct{}, 1),
+	}
+	for i := range co.regionOf {
+		co.regionOf[i] = -1
+	}
+	for i, addr := range shardAddrs {
+		co.shards = append(co.shards, Peer{ID: i, Addr: addr})
+	}
+	co.membership = NewMembership(co.shards, MembershipConfig{
+		Codec:          cfg.Codec,
+		ProbeTimeout:   cfg.ProbeTimeout,
+		DeathThreshold: cfg.DeathThreshold,
+		Dial:           cfg.Dial,
+		OnChange: func(_ Peer, _, to PeerState) {
+			// A shard died or came back: its region must move. The worker
+			// re-partitions; until then the generation check keeps stale
+			// shards from absorbing misrouted work.
+			if to == Dead || to == Alive {
+				co.kick(co.reassignKick)
+			}
+		},
+	})
+	HandleFunc(co.ep, MethodPing, func(ctx context.Context, req *PingRequest) (any, error) {
+		return &PingReply{Role: "coordinator", Assign: co.AssignVersion(), Version: co.mirror.Current().Version}, nil
+	})
+	return co, nil
+}
+
+func (co *Coordinator) kick(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// Serve starts answering RPC probes on lis.
+func (co *Coordinator) Serve(lis net.Listener) { co.ep.Serve(lis) }
+
+// Addr returns the coordinator's RPC listen address.
+func (co *Coordinator) Addr() string { return co.ep.Addr() }
+
+// AssignVersion reports the current assignment generation.
+func (co *Coordinator) AssignVersion() uint64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.assignVer
+}
+
+// Start launches the background loops: shard probes, the re-partition
+// worker, and the drift-triggered cluster solve worker (debounced like the
+// single daemon's).
+func (co *Coordinator) Start(ctx context.Context, probeInterval time.Duration) {
+	ctx, cancel := context.WithCancel(ctx)
+	co.loopCancel = cancel
+	co.membership.Start(ctx, probeInterval)
+	co.wg.Add(2)
+	go func() {
+		defer co.wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-co.reassignKick:
+			}
+			if err := co.AssignNow(ctx); err != nil {
+				co.noteErr(err)
+			}
+		}
+	}()
+	go func() {
+		defer co.wg.Done()
+		var lastSolve time.Time
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-co.solveKick:
+			}
+			if wait := co.cfg.Controller.SolveDebounce - time.Since(lastSolve); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+			lastSolve = time.Now()
+			if err := co.SolveNow(ctx); err != nil {
+				co.noteErr(err)
+			}
+		}
+	}()
+}
+
+func (co *Coordinator) noteErr(err error) {
+	co.mu.Lock()
+	co.lastErr = err.Error()
+	co.mu.Unlock()
+}
+
+// liveAssigned snapshots the shards that are both alive and hold a region.
+func (co *Coordinator) liveAssigned() []int {
+	alive := co.membership.Alive()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]int, 0, len(alive))
+	for _, id := range alive {
+		if _, ok := co.regions[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AssignNow re-partitions the servers over the live shards and ships every
+// region: a masked state snapshot plus the current merged placement as
+// carry. Shards on a dead list keep their stale generation and are fenced
+// out by the generation check until they rejoin and get a fresh region.
+func (co *Coordinator) AssignNow(ctx context.Context) error {
+	co.opMu.Lock()
+	defer co.opMu.Unlock()
+
+	live := co.membership.Alive()
+	if len(live) == 0 {
+		return errors.New("cluster: no live shards to assign")
+	}
+	e := co.mirror.Current()
+	parts := hierarchy.Partition(e.Problem, len(live))
+	full := co.mirror.ExportState()
+	carry := e.Schema.Matrix()
+
+	co.mu.Lock()
+	co.assignVer++
+	ver := co.assignVer
+	co.mu.Unlock()
+
+	type result struct {
+		shard   int
+		members []int32
+		err     error
+	}
+	results := make(chan result, len(live))
+	for j, id := range live {
+		go func(j, id int) {
+			members := parts[j]
+			req := &AssignRequest{Version: ver, Members: members, State: full.Mask(members), Carry: carry}
+			cctx, cancel := context.WithTimeout(ctx, co.cfg.ForwardTimeout)
+			defer cancel()
+			err := co.membership.Client(id).Call(cctx, MethodAssign, req, &AssignReply{})
+			results <- result{shard: id, members: members, err: err}
+		}(j, id)
+	}
+	regions := make(map[int][]int32, len(live))
+	regionOf := make([]int32, e.Problem.M)
+	for i := range regionOf {
+		regionOf[i] = -1
+	}
+	var firstErr error
+	for range live {
+		r := <-results
+		if r.err != nil {
+			co.membership.ReportFailure(r.shard)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: assign shard %d: %w", r.shard, r.err)
+			}
+			continue
+		}
+		regions[r.shard] = r.members
+		for _, srv := range r.members {
+			regionOf[srv] = int32(r.shard)
+		}
+	}
+	co.mu.Lock()
+	co.regions = regions
+	co.regionOf = regionOf
+	co.repartitions++
+	co.mu.Unlock()
+	if len(regions) == 0 {
+		return firstErr
+	}
+	return nil
+}
+
+// Current, Route, Placement, Metrics, Subscribe, Unsubscribe and
+// DrainSubscribers delegate to the mirror: the coordinator serves routes and
+// the epoch stream from the merged global placement, so routing clients work
+// against a cluster exactly as against a single daemon.
+
+// Current returns the mirror's live epoch.
+func (co *Coordinator) Current() *online.Epoch { return co.mirror.Current() }
+
+// Route answers from the merged placement.
+func (co *Coordinator) Route(server int, object int32) (int32, error) {
+	return co.mirror.Route(server, object)
+}
+
+// Placement reports the merged placement.
+func (co *Coordinator) Placement() replication.PlacementReport { return co.mirror.Placement() }
+
+// Metrics reports the mirror's controller metrics.
+func (co *Coordinator) Metrics() online.Metrics { return co.mirror.Metrics() }
+
+// Subscribe opens an epoch stream on the mirror.
+func (co *Coordinator) Subscribe(since uint64, buf int) *online.Subscription {
+	return co.mirror.Subscribe(since, buf)
+}
+
+// Unsubscribe ends a mirror subscription.
+func (co *Coordinator) Unsubscribe(sub *online.Subscription) { co.mirror.Unsubscribe(sub) }
+
+// DrainSubscribers drains the mirror's epoch stream.
+func (co *Coordinator) DrainSubscribers() { co.mirror.DrainSubscribers() }
+
+// LastSolvePayments returns the per-server payments summed across the
+// regional games of the most recent cluster solve.
+func (co *Coordinator) LastSolvePayments() []int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.lastPayments == nil {
+		return nil
+	}
+	return append([]int64(nil), co.lastPayments...)
+}
+
+// ApplyDeltas applies a batch to the global mirror, then fans it out: demand
+// deltas go to the owning shard, catalogue deltas to every shard, and
+// membership deltas trigger a full re-partition (no piecemeal forwarding —
+// the partition itself changed). A shard that fails its forward is reported
+// to the failure detector and re-synced by the next assignment; the mirror
+// remains the source of truth either way.
+func (co *Coordinator) ApplyDeltas(ds []online.Delta) (online.Applied, error) {
+	co.opMu.Lock()
+	a, err := co.mirror.ApplyDeltas(ds)
+	if err != nil {
+		co.opMu.Unlock()
+		return a, err
+	}
+
+	co.mu.Lock()
+	regionOf := co.regionOf
+	ver := co.assignVer
+	co.mu.Unlock()
+
+	perShard, membership, rerr := online.RouteDeltas(ds, func(server int) int {
+		if server < 0 || server >= len(regionOf) {
+			return -1
+		}
+		return int(regionOf[server])
+	}, len(co.shards))
+
+	if ver == 0 || membership || rerr != nil {
+		// Unformed cluster, membership change, or a server outside the live
+		// assignment (it joined since): re-partition from fresh state, which
+		// ships the new demand inside the snapshots.
+		co.opMu.Unlock()
+		if aerr := co.AssignNow(context.Background()); aerr != nil {
+			co.noteErr(aerr)
+		}
+	} else {
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for id, batch := range perShard {
+			if len(batch) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(id int, batch []online.Delta) {
+				defer wg.Done()
+				cctx, cancel := context.WithTimeout(ctx, co.cfg.ForwardTimeout)
+				defer cancel()
+				req := &DeltasRequest{Assign: ver, Deltas: batch}
+				if err := co.membership.Client(id).Call(cctx, MethodDeltas, req, &online.Applied{}); err != nil {
+					co.mu.Lock()
+					co.forwardErrors++
+					co.mu.Unlock()
+					co.membership.ReportFailure(id)
+					co.kick(co.reassignKick)
+				}
+			}(id, batch)
+		}
+		wg.Wait()
+		co.opMu.Unlock()
+	}
+
+	if a.SolveScheduled {
+		co.kick(co.solveKick)
+	}
+	return a, nil
+}
+
+// SolveNow runs one cluster-wide solve: every live region's game in
+// parallel, then the top-level merge. Implements server.Backend's solve, so
+// POST /solve on the coordinator solves the whole cluster.
+func (co *Coordinator) SolveNow(ctx context.Context) error {
+	co.opMu.Lock()
+	defer co.opMu.Unlock()
+	return co.solveLocked(ctx)
+}
+
+func (co *Coordinator) solveLocked(ctx context.Context) error {
+	live := co.liveAssigned()
+	if len(live) == 0 {
+		return errors.New("cluster: no live assigned shards to solve")
+	}
+	type result struct {
+		shard int
+		rep   SolveReply
+		err   error
+	}
+	results := make(chan result, len(live))
+	for _, id := range live {
+		go func(id int) {
+			cctx, cancel := context.WithTimeout(ctx, co.cfg.ForwardTimeout)
+			defer cancel()
+			var rep SolveReply
+			err := co.membership.Client(id).Call(cctx, MethodSolve, &SolveRequest{}, &rep)
+			results <- result{shard: id, rep: rep, err: err}
+		}(id)
+	}
+	payments := make([]int64, co.mirror.Current().Problem.M)
+	solved := 0
+	var firstErr error
+	for range live {
+		r := <-results
+		if r.err != nil {
+			co.membership.ReportFailure(r.shard)
+			co.kick(co.reassignKick)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: solve shard %d: %w", r.shard, r.err)
+			}
+			continue
+		}
+		solved++
+		for i, p := range r.rep.Payments {
+			if i < len(payments) {
+				payments[i] += p
+			}
+		}
+	}
+	if solved == 0 {
+		return firstErr
+	}
+	co.mu.Lock()
+	co.lastPayments = payments
+	co.mu.Unlock()
+	_, err := co.mergeLocked(ctx)
+	return err
+}
+
+// MergeNow pulls every live region's placement, runs the top-level delegate
+// game over the regional savings bids, and installs the union on the mirror
+// as the next merged epoch.
+func (co *Coordinator) MergeNow(ctx context.Context) (MergeReport, error) {
+	co.opMu.Lock()
+	defer co.opMu.Unlock()
+	return co.mergeLocked(ctx)
+}
+
+func (co *Coordinator) mergeLocked(ctx context.Context) (MergeReport, error) {
+	live := co.liveAssigned()
+	if len(live) == 0 {
+		return MergeReport{}, errors.New("cluster: no live assigned shards to merge")
+	}
+	type pull struct {
+		part regionPart
+		err  error
+	}
+	results := make(chan pull, len(live))
+	for _, id := range live {
+		go func(id int) {
+			cctx, cancel := context.WithTimeout(ctx, co.cfg.ForwardTimeout)
+			defer cancel()
+			var rep PlacementReply
+			err := co.membership.Client(id).Call(cctx, MethodPlacement, &PlacementRequest{}, &rep)
+			results <- pull{part: regionPart{shard: id, rep: rep}, err: err}
+		}(id)
+	}
+	var parts []regionPart
+	for range live {
+		r := <-results
+		if r.err != nil {
+			co.membership.ReportFailure(r.part.shard)
+			co.kick(co.reassignKick)
+			continue
+		}
+		parts = append(parts, r.part)
+	}
+	if len(parts) == 0 {
+		return MergeReport{}, errors.New("cluster: every placement pull failed")
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a].shard < parts[b].shard })
+
+	// The top-level delegate game: each region's delegate bids the transfer
+	// cost its game saved; the winner is paid the runner-up's savings
+	// (second-price — Axiom 5's incentive, applied one level up). The
+	// allocation itself is the union: regions own disjoint server sets, so
+	// every regional winner coexists in the merged placement, and the game
+	// ranks the delegates for payment and precedence accounting.
+	bids := make([]mechanism.Bid, 0, len(parts))
+	for _, pt := range parts {
+		bids = append(bids, mechanism.Bid{Agent: pt.shard, Value: pt.rep.SavedOTC})
+	}
+	winner, payment := -1, int64(0)
+	if round, ok := mechanism.RunRound(bids, co.cfg.Payment); ok {
+		winner, payment = round.Winner.Agent, round.Payment
+		co.mu.Lock()
+		co.topDecisions++
+		co.delegatePayments[winner] += payment
+		co.lastWinner = winner
+		co.mu.Unlock()
+	}
+
+	e := co.mirror.Current()
+	merged := mergeParts(e.Problem.N, e.Problem.Work.Primary, parts)
+	dropped := co.mirror.InstallPlacement(merged)
+	co.mu.Lock()
+	co.merges++
+	co.mu.Unlock()
+	cur := co.mirror.Current()
+	return MergeReport{
+		Version: cur.Version,
+		Regions: len(parts),
+		Winner:  winner,
+		Payment: payment,
+		Dropped: dropped,
+		OTC:     cur.Schema.TotalCost(),
+		Savings: cur.Schema.Savings(),
+	}, nil
+}
+
+// regionPart is one region's contribution to a merge.
+type regionPart struct {
+	shard int
+	rep   PlacementReply
+}
+
+// mergeParts unions the regional placements: object k's merged replica set
+// is its primary plus every member-owned replica each region placed.
+// Replicas a region reports on servers outside its member set (it cannot
+// create them — masked capacity forbids it — but a stale carry might still
+// list them) are ignored, as are replicas on regions that did not report
+// (their servers' surplus replicas dissolve, the eviction semantics).
+func mergeParts(n int, primary []int32, parts []regionPart) [][]int32 {
+	memberOf := make([]map[int32]bool, len(parts))
+	for i, pt := range parts {
+		memberOf[i] = make(map[int32]bool, len(pt.rep.Members))
+		for _, s := range pt.rep.Members {
+			memberOf[i][s] = true
+		}
+	}
+	out := make([][]int32, n)
+	for k := 0; k < n; k++ {
+		set := map[int32]bool{primary[k]: true}
+		for i, pt := range parts {
+			if k >= len(pt.rep.Matrix) {
+				continue
+			}
+			for _, s := range pt.rep.Matrix[k] {
+				if memberOf[i][s] {
+					set[s] = true
+				}
+			}
+		}
+		row := make([]int32, 0, len(set))
+		for s := range set {
+			row = append(row, s)
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		out[k] = row
+	}
+	return out
+}
+
+// Close tears the coordinator down: loops, membership clients, endpoint,
+// then the mirror.
+func (co *Coordinator) Close() {
+	if co.loopCancel != nil {
+		co.loopCancel()
+	}
+	co.wg.Wait()
+	co.membership.Close()
+	co.ep.Close()
+	co.mirror.Close()
+}

@@ -1,0 +1,417 @@
+// Package cluster shards one DRP instance across daemons: a coordinator
+// partitions the servers into communication-cost regions (hierarchy's
+// partitioner), ships each region's masked state to a shard daemon over a
+// small length-prefixed RPC transport, runs the regional AGT-RAM games
+// concurrently, and merges the regional winners through a top-level delegate
+// game — the paper's semi-distributed mechanism stretched over processes.
+//
+// The layer cake, bottom to top:
+//
+//   - rpc.go: the transport. 4-byte big-endian length-prefixed frames carrying
+//     a gob- or JSON-encoded envelope; a synchronous Client with lazy redial
+//     and an Endpoint dispatching registered handlers, one goroutine per
+//     connection. Dialers compose with internal/faultnet, so the fault
+//     matrix drives the same deterministic fault model as the engine tests.
+//   - membership.go: static seed list + health probes with a consecutive-
+//     failure threshold (Alive → Suspect → Dead, probes recover the peer).
+//   - shard.go: one regional game. Holds an online.Controller over the
+//     masked state the coordinator assigned, degrades to autonomous
+//     self-solves when the coordinator stops answering probes.
+//   - coordinator.go: membership + partition + delta forwarding + the
+//     fan-out solve and top-level merge, behind the same server.Backend
+//     interface the single daemon serves HTTP from.
+//
+// Determinism boundary: regional games are deterministic in (masked state,
+// seed) exactly like the single daemon; the merge is deterministic in the
+// set of regional placements. Membership timing (when a probe declares a
+// peer dead) is wall-clock and therefore not deterministic — tests pin it by
+// calling ProbeOnce/AssignNow/MergeNow explicitly instead of running the
+// background loops.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// Codec selects the frame payload encoding. Gob is the compact default for
+// daemon-to-daemon links; JSON keeps frames greppable for debugging.
+type Codec string
+
+// The two codecs.
+const (
+	CodecGob  Codec = "gob"
+	CodecJSON Codec = "json"
+)
+
+// ParseCodec validates a -codec flag value ("" means gob).
+func ParseCodec(s string) (Codec, error) {
+	switch Codec(s) {
+	case "", CodecGob:
+		return CodecGob, nil
+	case CodecJSON:
+		return CodecJSON, nil
+	default:
+		return "", fmt.Errorf("cluster: unknown codec %q (want gob|json)", s)
+	}
+}
+
+func (c Codec) marshal(v any) ([]byte, error) {
+	if c == CodecJSON {
+		return json.Marshal(v)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c Codec) unmarshal(b []byte, v any) error {
+	if c == CodecJSON {
+		return json.Unmarshal(b, v)
+	}
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// maxFrame bounds a single RPC frame: a full M=100k state snapshot with
+// dense demand fits comfortably; anything bigger is a protocol error, not a
+// bigger buffer.
+const maxFrame = 256 << 20
+
+// frame is the wire envelope. Method is set on requests; Err carries a
+// remote handler failure on responses. Body is the codec-encoded payload —
+// encoded separately from the envelope so handlers decode into their own
+// types.
+type frame struct {
+	ID     uint64
+	Method string
+	Err    string
+	Body   []byte
+}
+
+// writeFrame encodes f and writes it length-prefixed (4-byte big-endian).
+func writeFrame(w io.Writer, c Codec, f *frame) error {
+	b, err := c.marshal(f)
+	if err != nil {
+		return fmt.Errorf("cluster: encode frame: %w", err)
+	}
+	if len(b) > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", len(b), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader, c Codec) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", n, maxFrame)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	f := new(frame)
+	if err := c.unmarshal(b, f); err != nil {
+		return nil, fmt.Errorf("cluster: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// RemoteError is a handler failure that crossed the wire: the call reached
+// the peer and the peer's handler said no. Transport failures (dial, broken
+// connection, deadline) surface as ordinary errors instead, which is how
+// callers distinguish "peer rejected it" from "peer unreachable".
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("cluster: %s: %s", e.Method, e.Msg) }
+
+// DialFunc opens a connection to an RPC address.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// NetDialer is the plain TCP dialer.
+func NetDialer() DialFunc {
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+}
+
+// FaultyDialer wraps the TCP dialer with the faultnet schedule for one peer
+// id: FailDial refuses the connect outright, Drop/Delay/Truncate shape the
+// write path of every connection — the cluster fault matrix runs on the same
+// deterministic fault model as the engine tests. A nil config is fault-free.
+func FaultyDialer(cfg *faultnet.Config, peer int) DialFunc {
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		if cfg.DialFails(peer) {
+			return nil, fmt.Errorf("cluster: injected dial failure to peer %d (%s)", peer, addr)
+		}
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return faultnet.Wrap(conn, peer, cfg), nil
+	}
+}
+
+// Client is a synchronous RPC client over one connection: calls are
+// serialized (the cluster's control plane is low-rate; concurrency comes
+// from one client per peer), the connection is dialed lazily and redialed
+// after any transport error.
+type Client struct {
+	addr  string
+	codec Codec
+	dial  DialFunc
+
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+// NewClient builds a client for one peer address. A nil dial uses plain TCP.
+func NewClient(addr string, codec Codec, dial DialFunc) *Client {
+	if dial == nil {
+		dial = NetDialer()
+	}
+	return &Client{addr: addr, codec: codec, dial: dial}
+}
+
+// Addr returns the peer address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Call invokes method on the peer: req is encoded into the request body,
+// the response body decoded into resp (ignored when resp is nil). The
+// context's deadline bounds the whole exchange; transport errors close the
+// connection so the next call redials.
+func (c *Client) Call(ctx context.Context, method string, req, resp any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.conn == nil {
+		conn, err := c.dial(ctx, c.addr)
+		if err != nil {
+			return fmt.Errorf("cluster: dial %s: %w", c.addr, err)
+		}
+		c.conn = conn
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Time{}
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.dropConn()
+		return err
+	}
+
+	body, err := c.codec.marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s request: %w", method, err)
+	}
+	c.nextID++
+	id := c.nextID
+	if err := writeFrame(c.conn, c.codec, &frame{ID: id, Method: method, Body: body}); err != nil {
+		c.dropConn()
+		return fmt.Errorf("cluster: send %s to %s: %w", method, c.addr, err)
+	}
+	f, err := readFrame(c.conn, c.codec)
+	if err != nil {
+		c.dropConn()
+		return fmt.Errorf("cluster: receive %s from %s: %w", method, c.addr, err)
+	}
+	if f.ID != id {
+		c.dropConn()
+		return fmt.Errorf("cluster: response id %d for request %d from %s", f.ID, id, c.addr)
+	}
+	if f.Err != "" {
+		return &RemoteError{Method: method, Msg: f.Err}
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := c.codec.unmarshal(f.Body, resp); err != nil {
+		return fmt.Errorf("cluster: decode %s response: %w", method, err)
+	}
+	return nil
+}
+
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Close drops the connection; a later Call redials.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropConn()
+}
+
+// Handler serves one RPC method: decode the request from body, return the
+// response value (encoded by the endpoint) or an error (sent as a
+// RemoteError to the caller).
+type Handler func(ctx context.Context, body []byte) (any, error)
+
+// Endpoint is the server side of the transport: a handler registry serving
+// framed requests, one goroutine per accepted connection, requests on one
+// connection handled in order (each Client is synchronous anyway).
+type Endpoint struct {
+	codec    Codec
+	handlers map[string]Handler
+
+	mu      sync.Mutex
+	lis     net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// NewEndpoint builds an endpoint with no handlers registered.
+func NewEndpoint(codec Codec) *Endpoint {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Endpoint{
+		codec:    codec,
+		handlers: map[string]Handler{},
+		conns:    map[net.Conn]struct{}{},
+		baseCtx:  ctx,
+		cancel:   cancel,
+	}
+}
+
+// Handle registers a method handler. Must be called before Serve.
+func (e *Endpoint) Handle(method string, h Handler) { e.handlers[method] = h }
+
+// HandleFunc registers a handler with typed request/response decoding: the
+// endpoint decodes the request into a fresh Req and encodes whatever the
+// handler returns.
+func HandleFunc[Req any](e *Endpoint, method string, h func(ctx context.Context, req *Req) (any, error)) {
+	e.Handle(method, func(ctx context.Context, body []byte) (any, error) {
+		req := new(Req)
+		if err := e.codec.unmarshal(body, req); err != nil {
+			return nil, fmt.Errorf("decode %s request: %w", method, err)
+		}
+		return h(ctx, req)
+	})
+}
+
+// Serve starts accepting on lis and returns immediately; Close stops the
+// accept loop, closes every connection and waits for the per-connection
+// goroutines (LeakCheck-clean teardown).
+func (e *Endpoint) Serve(lis net.Listener) {
+	e.mu.Lock()
+	e.lis = lis
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			e.mu.Lock()
+			if e.closed {
+				e.mu.Unlock()
+				conn.Close()
+				return
+			}
+			e.conns[conn] = struct{}{}
+			e.mu.Unlock()
+			e.wg.Add(1)
+			go e.serveConn(conn)
+		}
+	}()
+}
+
+// Addr returns the listening address (host:port with the resolved port).
+func (e *Endpoint) Addr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lis == nil {
+		return ""
+	}
+	return e.lis.Addr().String()
+}
+
+func (e *Endpoint) serveConn(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
+	for {
+		req, err := readFrame(conn, e.codec)
+		if err != nil {
+			return
+		}
+		resp := &frame{ID: req.ID}
+		if h, ok := e.handlers[req.Method]; !ok {
+			resp.Err = fmt.Sprintf("unknown method %q", req.Method)
+		} else if v, herr := h(e.baseCtx, req.Body); herr != nil {
+			resp.Err = herr.Error()
+		} else if v != nil {
+			if resp.Body, err = e.codec.marshal(v); err != nil {
+				resp.Body, resp.Err = nil, fmt.Sprintf("encode %s response: %v", req.Method, err)
+			}
+		}
+		if err := writeFrame(conn, e.codec, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the endpoint: the listener closes, in-flight handlers are
+// canceled through their context, every connection is closed, and Close
+// waits for all goroutines to exit. Idempotent.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	if e.lis != nil {
+		e.lis.Close()
+	}
+	for conn := range e.conns {
+		conn.Close()
+	}
+	e.mu.Unlock()
+	e.cancel()
+	e.wg.Wait()
+}
+
+// errClosed reports endpoint-side rejections of work after Close.
+var errClosed = errors.New("cluster: endpoint closed")

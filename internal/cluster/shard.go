@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/hierarchy"
+	"repro/internal/online"
+	"repro/internal/replication"
+)
+
+// ShardConfig tunes one shard daemon.
+type ShardConfig struct {
+	// Codec is the RPC codec (must match the coordinator's).
+	Codec Codec
+	// Controller configures the regional online controller rebuilt on every
+	// assignment: method, engine, seed, drift threshold, Glauber sweeps —
+	// the same vocabulary as the single daemon.
+	Controller online.Config
+	// Coordinator is the coordinator's RPC address. Empty runs the shard
+	// standalone-autonomous from the start (no probes, no degradation
+	// switch — there is nothing to degrade from).
+	Coordinator string
+	// ProbeTimeout and DeathThreshold tune the coordinator failure
+	// detector (Membership defaults apply).
+	ProbeTimeout   time.Duration
+	DeathThreshold int
+	// Dial overrides the dialer toward the coordinator (fault injection).
+	Dial func(peer Peer) DialFunc
+}
+
+// Shard runs one regional AGT-RAM game: an online controller over the
+// masked state the coordinator assigned, exposed over the RPC endpoint. In
+// hierarchical mode the coordinator decides when to solve; when the
+// coordinator stops answering probes the shard degrades to autonomous mode
+// — the paper's failure story — and re-solves itself on drift, exactly like
+// a single daemon, until the coordinator comes back and re-assigns.
+type Shard struct {
+	id   int
+	cost replication.CostFn
+	cfg  ShardConfig
+	ep   *Endpoint
+
+	mu         sync.Mutex
+	ctrl       *online.Controller
+	members    []int32
+	memberOf   []bool
+	assignVer  uint64
+	mode       hierarchy.Mode
+	assigns    int64
+	selfSolves int64
+	closed     bool
+
+	coord *Membership // probes the coordinator; nil when standalone
+
+	solveKick  chan struct{}
+	loopCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// ErrUnassigned reports shard operations before the first assignment.
+var ErrUnassigned = errors.New("cluster: shard has no assignment yet")
+
+// NewShard builds a shard over the instance's cost oracle (both sides of
+// the cluster construct the oracle from the shared instance configuration;
+// only runtime state crosses the wire). Call Serve to accept RPCs and Start
+// to run the coordinator failure detector.
+func NewShard(id int, cost replication.CostFn, cfg ShardConfig) *Shard {
+	s := &Shard{
+		id:        id,
+		cost:      cost,
+		cfg:       cfg,
+		ep:        NewEndpoint(cfg.Codec),
+		mode:      hierarchy.Hierarchical,
+		solveKick: make(chan struct{}, 1),
+	}
+	if cfg.Coordinator == "" {
+		s.mode = hierarchy.Autonomous
+	} else {
+		s.coord = NewMembership([]Peer{{ID: id, Addr: cfg.Coordinator}}, MembershipConfig{
+			Codec:          cfg.Codec,
+			ProbeTimeout:   cfg.ProbeTimeout,
+			DeathThreshold: cfg.DeathThreshold,
+			Dial:           cfg.Dial,
+			OnChange: func(_ Peer, _, to PeerState) {
+				switch to {
+				case Dead:
+					s.setMode(hierarchy.Autonomous)
+				case Alive:
+					s.setMode(hierarchy.Hierarchical)
+				}
+			},
+		})
+	}
+	HandleFunc(s.ep, MethodPing, s.handlePing)
+	HandleFunc(s.ep, MethodAssign, s.handleAssign)
+	HandleFunc(s.ep, MethodDeltas, s.handleDeltas)
+	HandleFunc(s.ep, MethodSolve, s.handleSolve)
+	HandleFunc(s.ep, MethodPlacement, s.handlePlacement)
+	HandleFunc(s.ep, MethodMetrics, s.handleMetrics)
+	HandleFunc(s.ep, MethodRoute, s.handleRoute)
+	return s
+}
+
+// ID returns the shard id.
+func (s *Shard) ID() int { return s.id }
+
+// Serve starts accepting RPCs on lis.
+func (s *Shard) Serve(lis net.Listener) { s.ep.Serve(lis) }
+
+// Addr returns the RPC listen address.
+func (s *Shard) Addr() string { return s.ep.Addr() }
+
+// Start launches the background loops: the coordinator failure detector
+// (when configured) and the autonomous self-solve worker.
+func (s *Shard) Start(ctx context.Context, probeInterval time.Duration) {
+	ctx, cancel := context.WithCancel(ctx)
+	s.loopCancel = cancel
+	if s.coord != nil {
+		s.coord.Start(ctx, probeInterval)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.solveKick:
+			}
+			if _, err := s.SolveNow(ctx); err != nil && ctx.Err() != nil {
+				return
+			}
+		}
+	}()
+}
+
+// ProbeCoordinator runs one probe round against the coordinator — the
+// deterministic test hook for the degradation switch. No-op when standalone.
+func (s *Shard) ProbeCoordinator(ctx context.Context) {
+	if s.coord != nil {
+		s.coord.ProbeOnce(ctx)
+	}
+}
+
+// Mode reports the shard's current coordination mode.
+func (s *Shard) Mode() hierarchy.Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+func (s *Shard) setMode(m hierarchy.Mode) {
+	s.mu.Lock()
+	s.mode = m
+	s.mu.Unlock()
+}
+
+// AssignVersion reports the assignment generation the shard runs (0 before
+// the first assignment).
+func (s *Shard) AssignVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.assignVer
+}
+
+// controller returns the live regional controller, or nil before the first
+// assignment.
+func (s *Shard) controller() *online.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl
+}
+
+func (s *Shard) handlePing(ctx context.Context, req *PingRequest) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &PingReply{Role: "shard", Shard: s.id, Assign: s.assignVer, Mode: s.mode.String()}
+	if s.ctrl != nil {
+		rep.Version = s.ctrl.Current().Version
+	}
+	return rep, nil
+}
+
+// handleAssign installs a new region: a fresh controller over the masked
+// snapshot, the shipped global placement carried onto it. Stale generations
+// (version at or below the current one) are rejected so a delayed re-send
+// cannot roll the shard back.
+func (s *Shard) handleAssign(ctx context.Context, req *AssignRequest) (any, error) {
+	if req.State == nil {
+		return nil, errors.New("assign without state snapshot")
+	}
+	ctrl, err := online.NewFromState(s.cost, req.State, s.cfg.Controller)
+	if err != nil {
+		return nil, fmt.Errorf("rebuild controller: %w", err)
+	}
+	dropped := 0
+	if req.Carry != nil {
+		dropped = ctrl.InstallPlacement(req.Carry)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ctrl.Close()
+		return nil, errClosed
+	}
+	if req.Version <= s.assignVer {
+		cur := s.assignVer
+		s.mu.Unlock()
+		ctrl.Close()
+		return nil, fmt.Errorf("stale assignment %d (running %d)", req.Version, cur)
+	}
+	old := s.ctrl
+	s.ctrl = ctrl
+	s.assignVer = req.Version
+	s.members = append([]int32(nil), req.Members...)
+	memberOf := make([]bool, len(req.State.Capacity))
+	for _, i := range req.Members {
+		if int(i) < len(memberOf) {
+			memberOf[i] = true
+		}
+	}
+	s.memberOf = memberOf
+	s.assigns++
+	s.mu.Unlock()
+	if old != nil {
+		// Drains the old controller's epoch subscribers; HTTP streamers get a
+		// terminal update and resubscribe against the new controller.
+		old.Close()
+	}
+	return &AssignReply{Version: req.Version, Dropped: dropped}, nil
+}
+
+// applyGuarded is the shared delta path for the RPC handler and the HTTP
+// backend: generation check, ownership check, then the controller.
+func (s *Shard) applyGuarded(assign uint64, ds []online.Delta) (online.Applied, error) {
+	s.mu.Lock()
+	ctrl, memberOf, ver, mode := s.ctrl, s.memberOf, s.assignVer, s.mode
+	s.mu.Unlock()
+	if ctrl == nil {
+		return online.Applied{}, ErrUnassigned
+	}
+	if assign != 0 && assign != ver {
+		return online.Applied{}, fmt.Errorf("cluster: delta batch for assignment %d, shard runs %d", assign, ver)
+	}
+	for i, d := range ds {
+		switch d.Kind {
+		case online.KindServerJoin, online.KindServerLeave:
+			return online.Applied{}, fmt.Errorf("cluster: delta %d: membership changes go through the coordinator", i)
+		case online.KindDemand:
+			if d.Server < 0 || d.Server >= len(memberOf) || !memberOf[d.Server] {
+				return online.Applied{}, fmt.Errorf("cluster: delta %d: server %d is not a member of shard %d", i, d.Server, s.id)
+			}
+		}
+	}
+	a, err := ctrl.ApplyDeltas(ds)
+	if err == nil && a.SolveScheduled && mode == hierarchy.Autonomous {
+		// Degraded: nobody will call solve for us. Kick the self-solve
+		// worker, like the single daemon's drift loop.
+		select {
+		case s.solveKick <- struct{}{}:
+		default:
+		}
+	}
+	return a, err
+}
+
+func (s *Shard) handleDeltas(ctx context.Context, req *DeltasRequest) (any, error) {
+	a, err := s.applyGuarded(req.Assign, req.Deltas)
+	if err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// SolveNow runs the regional game synchronously and reports it.
+func (s *Shard) SolveNow(ctx context.Context) (*SolveReply, error) {
+	ctrl := s.controller()
+	if ctrl == nil {
+		return nil, ErrUnassigned
+	}
+	if err := ctrl.SolveNow(ctx); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.selfSolves++
+	s.mu.Unlock()
+	m := ctrl.Metrics()
+	return &SolveReply{
+		Version: m.Version, OTC: m.OTC, BaseOTC: m.BaseOTC, Savings: m.Savings,
+		Work: m.SolverWork, Payments: ctrl.LastSolvePayments(),
+	}, nil
+}
+
+func (s *Shard) handleSolve(ctx context.Context, req *SolveRequest) (any, error) {
+	return s.SolveNow(ctx)
+}
+
+func (s *Shard) handlePlacement(ctx context.Context, req *PlacementRequest) (any, error) {
+	s.mu.Lock()
+	ctrl, members, ver := s.ctrl, s.members, s.assignVer
+	s.mu.Unlock()
+	if ctrl == nil {
+		return nil, ErrUnassigned
+	}
+	e := ctrl.Current()
+	return &PlacementReply{
+		Assign:   ver,
+		Version:  e.Version,
+		Members:  append([]int32(nil), members...),
+		Matrix:   e.Schema.Matrix(),
+		OTC:      e.Schema.TotalCost(),
+		BaseOTC:  e.Schema.BaseCost(),
+		Savings:  e.Schema.Savings(),
+		SavedOTC: e.Schema.BaseCost() - e.Schema.TotalCost(),
+	}, nil
+}
+
+func (s *Shard) handleMetrics(ctx context.Context, req *MetricsRequest) (any, error) {
+	s.mu.Lock()
+	ctrl, members, ver, mode := s.ctrl, s.members, s.assignVer, s.mode
+	s.mu.Unlock()
+	if ctrl == nil {
+		return nil, ErrUnassigned
+	}
+	return &MetricsReply{
+		Shard: s.id, Assign: ver, Mode: mode.String(),
+		Members: append([]int32(nil), members...),
+		Metrics: ctrl.Metrics(),
+	}, nil
+}
+
+func (s *Shard) handleRoute(ctx context.Context, req *RouteRequest) (any, error) {
+	ctrl := s.controller()
+	if ctrl == nil {
+		return nil, ErrUnassigned
+	}
+	from, err := ctrl.Route(req.Server, req.Object)
+	if err != nil {
+		return nil, err
+	}
+	return &RouteReply{ReadFrom: from}, nil
+}
+
+// Close tears the shard down: RPC endpoint first (no new work), then the
+// background loops, then the regional controller.
+func (s *Shard) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ctrl := s.ctrl
+	s.mu.Unlock()
+	s.ep.Close()
+	if s.loopCancel != nil {
+		s.loopCancel()
+	}
+	s.wg.Wait()
+	if s.coord != nil {
+		s.coord.Close()
+	}
+	if ctrl != nil {
+		ctrl.Close()
+	}
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"repro/internal/online"
+)
+
+// The RPC vocabulary. Every daemon answers "ping"; shards additionally serve
+// the regional-game methods the coordinator drives.
+const (
+	MethodPing      = "ping"
+	MethodAssign    = "assign"
+	MethodDeltas    = "deltas"
+	MethodSolve     = "solve"
+	MethodPlacement = "placement"
+	MethodMetrics   = "metrics"
+	MethodRoute     = "route"
+)
+
+// PingRequest is the health probe; PingReply identifies the peer.
+type PingRequest struct{}
+
+// PingReply reports the peer's role and where it stands.
+type PingReply struct {
+	Role string `json:"role"` // "coordinator" or "shard"
+	// Shard is the responder's shard id (shards only).
+	Shard int `json:"shard"`
+	// Assign is the assignment version the shard currently runs (0 before
+	// the first assignment).
+	Assign uint64 `json:"assign"`
+	// Mode is the shard's current mode (hierarchical|autonomous).
+	Mode string `json:"mode,omitempty"`
+	// Version is the responder's current epoch version.
+	Version uint64 `json:"version"`
+}
+
+// AssignRequest ships a region to a shard: the masked state snapshot, the
+// member set, and the current global placement to carry over (so a freshly
+// assigned shard starts from the merged placement instead of primaries).
+type AssignRequest struct {
+	// Version is the coordinator's assignment generation; a shard rejects
+	// versions at or below the one it already runs (stale re-sends).
+	Version uint64                `json:"version"`
+	Members []int32               `json:"members"`
+	State   *online.StateSnapshot `json:"state"`
+	Carry   [][]int32             `json:"carry,omitempty"`
+}
+
+// AssignReply acknowledges an installed assignment.
+type AssignReply struct {
+	Version uint64 `json:"version"`
+	// Dropped counts carried replicas that were infeasible on the masked
+	// instance.
+	Dropped int `json:"dropped"`
+}
+
+// DeltasRequest forwards a delta sub-batch to the owning shard.
+type DeltasRequest struct {
+	// Assign pins the assignment generation the batch was routed under; a
+	// shard on a different generation rejects it (the coordinator re-syncs
+	// by re-assigning).
+	Assign uint64         `json:"assign"`
+	Deltas []online.Delta `json:"deltas"`
+}
+
+// SolveRequest asks a shard to run its regional game now.
+type SolveRequest struct{}
+
+// SolveReply reports the regional solve.
+type SolveReply struct {
+	Version  uint64  `json:"version"`
+	OTC      int64   `json:"otc"`
+	BaseOTC  int64   `json:"base_otc"`
+	Savings  float64 `json:"savings_percent"`
+	Work     int64   `json:"work"`
+	Payments []int64 `json:"payments,omitempty"`
+}
+
+// PlacementRequest pulls a shard's regional placement for the merge.
+type PlacementRequest struct{}
+
+// PlacementReply carries the regional placement and the region's delegate
+// bid for the top-level game.
+type PlacementReply struct {
+	Assign  uint64    `json:"assign"`
+	Version uint64    `json:"version"`
+	Members []int32   `json:"members"`
+	Matrix  [][]int32 `json:"matrix"`
+	OTC     int64     `json:"otc"`
+	BaseOTC int64     `json:"base_otc"`
+	Savings float64   `json:"savings_percent"`
+	// SavedOTC = BaseOTC - OTC: the transfer cost the regional game saved,
+	// which is the region delegate's sealed bid in the top-level game.
+	SavedOTC int64 `json:"saved_otc"`
+}
+
+// MetricsRequest pulls a shard's controller metrics for aggregation.
+type MetricsRequest struct{}
+
+// MetricsReply is one shard's contribution to GET /cluster.
+type MetricsReply struct {
+	Shard   int            `json:"shard"`
+	Assign  uint64         `json:"assign"`
+	Mode    string         `json:"mode"`
+	Members []int32        `json:"members"`
+	Metrics online.Metrics `json:"metrics"`
+}
+
+// RouteRequest asks a shard for a nearest-replica answer from its regional
+// placement.
+type RouteRequest struct {
+	Server int   `json:"server"`
+	Object int32 `json:"object"`
+}
+
+// RouteReply is the answer.
+type RouteReply struct {
+	ReadFrom int32 `json:"read_from"`
+}

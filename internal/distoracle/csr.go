@@ -177,10 +177,16 @@ func (c *CSRLazy) InvalidateRow(i int) {
 	c.mu.Unlock()
 }
 
-// CacheStats reports cache behavior since construction.
+// CacheStats reports cache behavior since construction. The daemon surfaces
+// it under /metrics (controller.row_cache) and topogen prints it after
+// sampled stats, so a solve that thrashes the LRU (M far beyond the cache
+// budget — the Dijkstra-bound regime) shows up as a miss/evict ratio instead
+// of silent slowness.
 type CacheStats struct {
-	Hits, Misses, Evictions int64
-	CachedRows              int
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	CachedRows int   `json:"cached_rows"`
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -34,7 +34,9 @@ import (
 // Config tunes the chain.
 type Config struct {
 	// Sweeps is the annealing budget: each sweep proposes one flip per
-	// candidate pair. Default 60.
+	// candidate pair. Zero or negative picks DefaultSweeps for the problem's
+	// size; a fixed positive value is used verbatim, so fixed-(seed, sweeps)
+	// runs stay bit-reproducible across default changes.
 	Sweeps int
 	// CoolTo is the final temperature as a fraction of the initial one
 	// (default 1e-3); the per-sweep schedule is geometric between them.
@@ -50,14 +52,30 @@ type Config struct {
 	OnSweep func(sweep int, bestCost int64)
 }
 
+// withDefaults fills size-independent defaults; Sweeps is defaulted in Solve
+// where the problem's shape is known (see DefaultSweeps).
 func (c Config) withDefaults() Config {
-	if c.Sweeps <= 0 {
-		c.Sweeps = 60
-	}
 	if c.CoolTo <= 0 || c.CoolTo >= 1 {
 		c.CoolTo = 1e-3
 	}
 	return c
+}
+
+// DefaultSweeps is the adaptive annealing budget: the flat 60-sweep default
+// is right for unit-test instances (M·N up to ~1k sites) but starves the
+// chain at daemon scale, where the landscape has a thousand times as many
+// sites yet each sweep still proposes only one flip per candidate pair. The
+// budget therefore grows logarithmically with the site count — one extra
+// 60-sweep block per doubling past 1024 sites — so an M=1000, N=3000
+// instance gets a few hundred sweeps, not sixty, while small instances and
+// every fixed-Sweeps caller are untouched.
+func DefaultSweeps(m, n int) int {
+	const base, pivot = 60, 1024
+	sites := float64(m) * float64(n)
+	if sites <= pivot {
+		return base
+	}
+	return int(base * (1 + math.Log2(sites/pivot)))
 }
 
 // Result is the outcome of a run.
@@ -89,6 +107,9 @@ func Solve(ctx context.Context, p *replication.Problem, cfg Config) (*Result, er
 		return nil, fmt.Errorf("glauber: nil problem")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Sweeps <= 0 {
+		cfg.Sweeps = DefaultSweeps(p.M, p.N)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("glauber: %w", err)
 	}

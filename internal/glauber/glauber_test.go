@@ -246,3 +246,66 @@ func TestAdapter(t *testing.T) {
 		t.Fatalf("outcome missing work or schema: %+v", out)
 	}
 }
+
+func TestDefaultSweepsScaling(t *testing.T) {
+	// Small instances keep the historical 60-sweep budget.
+	if got := DefaultSweeps(16, 60); got != 60 {
+		t.Fatalf("DefaultSweeps(16,60) = %d, want 60", got)
+	}
+	if got := DefaultSweeps(32, 32); got != 60 {
+		t.Fatalf("DefaultSweeps(32,32) = %d, want 60 at the pivot", got)
+	}
+	// One doubling past the pivot adds one 60-sweep block.
+	if got := DefaultSweeps(64, 32); got != 120 {
+		t.Fatalf("DefaultSweeps(64,32) = %d, want 120", got)
+	}
+	// Budget is monotone in the site count.
+	prev := 0
+	for _, m := range []int{16, 48, 100, 500, 1000, 10000} {
+		got := DefaultSweeps(m, 3*m)
+		if got < prev {
+			t.Fatalf("DefaultSweeps(%d,%d) = %d < previous %d", m, 3*m, got, prev)
+		}
+		prev = got
+	}
+	// Daemon scale gets a real budget, not sixty.
+	if got := DefaultSweeps(1000, 3000); got < 400 {
+		t.Fatalf("DefaultSweeps(1000,3000) = %d, want a few hundred", got)
+	}
+}
+
+func TestAdaptiveDefaultUsedWhenSweepsZero(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := testutil.MustBuild(testutil.Small(2))
+	res, err := Solve(context.Background(), p, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultSweeps(p.M, p.N)
+	if len(res.History) != want {
+		t.Fatalf("defaulted run did %d sweeps, want DefaultSweeps = %d", len(res.History), want)
+	}
+	// An explicit budget is used verbatim, bit-reproducibly.
+	a, err := Solve(context.Background(), p, Config{Sweeps: 17, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(context.Background(), p, Config{Sweeps: 17, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.History) != 17 || len(b.History) != 17 {
+		t.Fatalf("explicit budget not honored: %d, %d sweeps", len(a.History), len(b.History))
+	}
+	am, bm := a.Schema.Matrix(), b.Schema.Matrix()
+	for k := range am {
+		if len(am[k]) != len(bm[k]) {
+			t.Fatalf("fixed (seed, sweeps) run diverged at object %d", k)
+		}
+		for i := range am[k] {
+			if am[k][i] != bm[k][i] {
+				t.Fatalf("fixed (seed, sweeps) run diverged at object %d", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package hierarchy
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// The cluster plane reuses this package's failure semantics (the shard's
+// degradation switch is hierarchy.Mode, the coordinator's partitioner is
+// Partition), so the failure modes get their own leak-checked suite: the
+// top level dying mid-protocol, regions silenced from the start, and both
+// at once — all run under `make race`, twice in `make cluster`.
+
+// TestTopFailsEverySwitchPoint flips the top-level failure at every epoch of
+// the protocol's natural run and checks the degradation contract at each
+// point: the switch happens exactly when configured, decisions before it are
+// top-level, decisions after it are regional, and the placement stays
+// feasible.
+func TestTopFailsEverySwitchPoint(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := testutil.MustBuild(testutil.Small(4))
+	healthy, err := Solve(context.Background(), p, Config{Regions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for after := 1; after <= healthy.Epochs; after += 7 {
+		res, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(4)), Config{Regions: 4, TopFailsAfter: after})
+		if err != nil {
+			t.Fatalf("TopFailsAfter=%d: %v", after, err)
+		}
+		if res.DegradedAtEpoch != after {
+			t.Fatalf("TopFailsAfter=%d: degraded at %d", after, res.DegradedAtEpoch)
+		}
+		if res.TopDecisions != after {
+			t.Fatalf("TopFailsAfter=%d: %d top decisions", after, res.TopDecisions)
+		}
+		if res.RegionalDecisions == 0 {
+			t.Fatalf("TopFailsAfter=%d: no regional decisions after the failure", after)
+		}
+		if err := res.Schema.ValidateInvariants(); err != nil {
+			t.Fatalf("TopFailsAfter=%d: %v", after, err)
+		}
+		if res.Schema.Savings() <= 0 {
+			t.Fatalf("TopFailsAfter=%d: savings %.2f", after, res.Schema.Savings())
+		}
+	}
+}
+
+// TestTopFailsDeterministic pins that the degradation path is as
+// reproducible as the healthy one: two runs with the same seed and the same
+// mid-protocol failure produce bit-identical placements. The cluster's
+// differential test leans on exactly this property.
+func TestTopFailsDeterministic(t *testing.T) {
+	testutil.LeakCheck(t)
+	cfg := Config{Regions: 4, TopFailsAfter: 2}
+	a, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(8)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(context.Background(), testutil.MustBuild(testutil.Small(8)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Schema.Matrix(), b.Schema.Matrix()) {
+		t.Fatal("degraded runs with identical seeds diverged")
+	}
+	if a.Epochs != b.Epochs || a.TopDecisions != b.TopDecisions || a.RegionalDecisions != b.RegionalDecisions {
+		t.Fatalf("decision counts diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestFailedRegionsCombinedWithTopFailure runs both fault injections at
+// once: a silenced region and a top level that dies mid-protocol. The
+// silenced region must stay silent through the degradation (its servers
+// never host a non-primary replica), and the survivors keep replicating.
+func TestFailedRegionsCombinedWithTopFailure(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := testutil.MustBuild(testutil.Small(5))
+	res, err := Solve(context.Background(), p, Config{Regions: 4, FailedRegions: []int{2}, TopFailsAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedAtEpoch != 2 {
+		t.Fatalf("degraded at %d, want 2", res.DegradedAtEpoch)
+	}
+	silenced := map[int32]bool{}
+	for _, i := range res.Regions[2] {
+		silenced[i] = true
+	}
+	for k := 0; k < p.N; k++ {
+		for _, srv := range res.Schema.Replicas(int32(k)) {
+			if srv != p.Work.Primary[k] && silenced[srv] {
+				t.Fatalf("silenced region's server %d hosts a replica of %d after degradation", srv, k)
+			}
+		}
+	}
+	if res.Schema.Savings() <= 0 {
+		t.Fatalf("savings %.2f with combined faults", res.Schema.Savings())
+	}
+	if err := res.Schema.ValidateInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllRegionsFailed silences every region: the protocol has no agents,
+// places nothing, and terminates immediately instead of spinning.
+func TestAllRegionsFailed(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := testutil.MustBuild(testutil.Small(6))
+	res, err := Solve(context.Background(), p, Config{Regions: 3, FailedRegions: []int{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 0 {
+		t.Fatalf("all-failed system ran %d epochs", res.Epochs)
+	}
+	if res.Placed != 0 {
+		t.Fatalf("all-failed system placed %d replicas", res.Placed)
+	}
+	if res.Schema.Savings() != 0 {
+		t.Fatalf("all-failed system reports savings %.2f", res.Schema.Savings())
+	}
+}
+
+// TestCancelledDuringDegradedRun cancels the context after the top level has
+// already failed: the solve must abort with the context error, not keep
+// grinding regional epochs.
+func TestCancelledDuringDegradedRun(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := testutil.MustBuild(testutil.Small(7))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, p, Config{Regions: 4, TopFailsAfter: 1}); err == nil {
+		t.Fatal("cancelled degraded solve returned nil error")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/distoracle"
 	"repro/internal/faultnet"
 	"repro/internal/replication"
 	"repro/internal/solver"
@@ -53,6 +54,9 @@ type Config struct {
 	// SolveDebounce is the minimum spacing between automatic solves, so a
 	// delta storm coalesces into one re-solve instead of one per batch.
 	SolveDebounce time.Duration
+	// GlauberSweeps overrides the glauber method's sweep budget (0 keeps the
+	// solver's adaptive default, which scales with the instance size).
+	GlauberSweeps int
 	// WarmStart seeds re-solves with the live placement instead of solving
 	// cold. Cold solves are deterministic in the materialized problem alone;
 	// warm solves additionally depend on solve timing (which placement was
@@ -103,15 +107,18 @@ type Metrics struct {
 	// SolverWork is the cumulative dominant-operation count across every
 	// solve this controller ran (valuations, benefit evaluations, ...),
 	// the cost axis the scenario benchmarks compare methods on.
-	SolverWork int64 `json:"solver_work"`
-	DeltasApplied  int64   `json:"deltas_applied"`
-	CarriedDrops   int64   `json:"carried_drops"`
-	Evictions      int64   `json:"evictions"`
+	SolverWork    int64 `json:"solver_work"`
+	DeltasApplied int64 `json:"deltas_applied"`
+	CarriedDrops  int64 `json:"carried_drops"`
+	Evictions     int64 `json:"evictions"`
 	// Subscribers is the number of live epoch subscriptions; JournalLen how
 	// many epochs the bounded journal currently holds for replay.
 	Subscribers    int    `json:"subscribers"`
 	JournalLen     int    `json:"journal_len"`
 	LastSolveError string `json:"last_solve_error,omitempty"`
+	// RowCache reports the lazy distance oracle's row-cache counters when the
+	// instance runs on one (nil for dense matrices and cacheless oracles).
+	RowCache *distoracle.CacheStats `json:"row_cache,omitempty"`
 }
 
 // Controller owns the mutable workload state and the published Epoch.
@@ -137,6 +144,7 @@ type Controller struct {
 	carriedDrops  int64
 	evictions     int64
 	lastSolveErr  string
+	lastPayments  []int64
 
 	// solveMu serializes solver runs without blocking deltas or routes.
 	solveMu sync.Mutex
@@ -150,6 +158,16 @@ type Controller struct {
 // initial placement is primary-only; call SolveNow (or RestorePlacement)
 // to install a better one.
 func New(cost replication.CostFn, w *workload.Workload, capacity []int64, cfg Config) (*Controller, error) {
+	st, err := newState(cost, w, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return newController(st, cfg)
+}
+
+// newController finishes construction over an already-built state — shared
+// by New (initial workload) and NewFromState (wire snapshot).
+func newController(st *state, cfg Config) (*Controller, error) {
 	if cfg.Method == "" {
 		cfg.Method = "agt-ram"
 	}
@@ -158,10 +176,6 @@ func New(cost replication.CostFn, w *workload.Workload, capacity []int64, cfg Co
 	}
 	if cfg.Journal <= 0 {
 		cfg.Journal = DefaultJournal
-	}
-	st, err := newState(cost, w, capacity)
-	if err != nil {
-		return nil, err
 	}
 	p, err := st.materialize()
 	if err != nil {
@@ -314,11 +328,12 @@ func (c *Controller) SolveNow(ctx context.Context) error {
 	base := c.epoch.Load()
 	snap := base.Problem.Snapshot()
 	opts := solver.Options{
-		Workers:      c.cfg.Workers,
-		Seed:         c.cfg.Seed,
-		Engine:       c.cfg.Engine,
-		RoundTimeout: c.cfg.RoundTimeout,
-		Faults:       c.cfg.Faults,
+		Workers:       c.cfg.Workers,
+		Seed:          c.cfg.Seed,
+		Engine:        c.cfg.Engine,
+		RoundTimeout:  c.cfg.RoundTimeout,
+		Faults:        c.cfg.Faults,
+		GlauberSweeps: c.cfg.GlauberSweeps,
 	}
 	if c.cfg.WarmStart {
 		opts.Warm = base.Schema.Matrix()
@@ -338,6 +353,7 @@ func (c *Controller) SolveNow(ctx context.Context) error {
 	c.solverWork += out.Work
 	c.solvedSavings = out.Schema.Savings()
 	c.evictions += int64(len(out.Evictions))
+	c.lastPayments = append([]int64(nil), out.Payments...)
 
 	cur := c.epoch.Load()
 	if cur.Version == base.Version {
@@ -377,6 +393,19 @@ func (c *Controller) RestorePlacement(rep replication.PlacementReport) error {
 	return nil
 }
 
+// LastSolvePayments returns the per-server mechanism payments of the most
+// recent successful solve (nil before the first solve, or when the method
+// reports none). The cluster's differential test compares these across the
+// single daemon and a 1-shard cluster; the returned slice is a copy.
+func (c *Controller) LastSolvePayments() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastPayments == nil {
+		return nil
+	}
+	return append([]int64(nil), c.lastPayments...)
+}
+
 // Snapshot of the controller's counters and the live placement's economics.
 func (c *Controller) Metrics() Metrics {
 	c.mu.Lock()
@@ -394,7 +423,7 @@ func (c *Controller) Metrics() Metrics {
 			retired++
 		}
 	}
-	return Metrics{
+	m := Metrics{
 		Version:        v.Version,
 		Servers:        v.Problem.M,
 		ActiveServers:  active,
@@ -416,6 +445,11 @@ func (c *Controller) Metrics() Metrics {
 		JournalLen:     len(c.journal.ring),
 		LastSolveError: c.lastSolveErr,
 	}
+	if cs, ok := c.st.cost.(interface{ Stats() distoracle.CacheStats }); ok {
+		stats := cs.Stats()
+		m.RowCache = &stats
+	}
+	return m
 }
 
 func clampDrift(d float64) float64 {

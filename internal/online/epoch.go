@@ -16,6 +16,7 @@ const (
 	CauseDeltas   Cause = "deltas"
 	CauseSolve    Cause = "solve"
 	CauseRestore  Cause = "restore"
+	CauseMerge    Cause = "merge"
 	CauseShutdown Cause = "shutdown"
 )
 

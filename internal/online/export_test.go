@@ -1,0 +1,212 @@
+package online
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/distoracle"
+	"repro/internal/replication"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestExportMaskRoundTrip pins the cluster's state-shipping contract: a
+// controller rebuilt from an exported snapshot materializes the identical
+// problem, and a full-membership mask is the identity.
+func TestExportMaskRoundTrip(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := testutil.MustBuild(testutil.Small(31))
+	a, err := New(p.Cost, p.Work, p.Capacity, Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.ApplyDeltas([]Delta{
+		{Kind: KindDemand, Server: 2, Object: 5, Reads: 99, Writes: 3},
+		{Kind: KindServerLeave, Server: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := a.ExportState()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int32, p.M)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if !reflect.DeepEqual(snap, snap.Mask(all)) {
+		t.Fatal("full-membership mask is not the identity")
+	}
+
+	b, err := NewFromState(p.Cost, snap, Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	pa, pb := a.Current().Problem, b.Current().Problem
+	if !reflect.DeepEqual(pa.Capacity, pb.Capacity) {
+		t.Fatal("capacities diverged through export")
+	}
+	if err := a.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Current().Schema.Matrix(), b.Current().Schema.Matrix()) {
+		t.Fatal("rebuilt controller solved to a different placement")
+	}
+
+	// A partial mask zeroes non-member capacity and drops their demand.
+	members := []int32{0, 1, 2}
+	masked := snap.Mask(members)
+	for i, c := range masked.Capacity {
+		if i <= 2 {
+			if c != snap.Capacity[i] {
+				t.Fatalf("member %d capacity changed: %d -> %d", i, snap.Capacity[i], c)
+			}
+		} else if c != 0 {
+			t.Fatalf("non-member %d kept capacity %d", i, c)
+		}
+	}
+	for _, d := range masked.Demand {
+		if d.Server > 2 {
+			t.Fatalf("non-member demand survived the mask: %+v", d)
+		}
+	}
+}
+
+// TestInstallPlacementPublishesMerge pins the mirror path the coordinator
+// uses: installing a placement publishes exactly one epoch with CauseMerge
+// and resets drift.
+func TestInstallPlacementPublishesMerge(t *testing.T) {
+	testutil.LeakCheck(t)
+	p := testutil.MustBuild(testutil.Small(37))
+	ctrl, err := New(p.Cost, p.Work, p.Capacity, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	matrix := ctrl.Current().Schema.Matrix()
+	v := ctrl.Current().Version
+	if dropped := ctrl.InstallPlacement(matrix); dropped != 0 {
+		t.Fatalf("feasible placement dropped %d replicas", dropped)
+	}
+	e := ctrl.Current()
+	if e.Version != v+1 {
+		t.Fatalf("install published version %d, want %d", e.Version, v+1)
+	}
+	if e.Cause != CauseMerge {
+		t.Fatalf("install cause %q, want %q", e.Cause, CauseMerge)
+	}
+	if drift := ctrl.Metrics().Drift; drift != 0 {
+		t.Fatalf("drift after install = %v, want 0", drift)
+	}
+}
+
+// TestRouteDeltasSplitsByRegion pins the coordinator's forwarding table.
+func TestRouteDeltasSplitsByRegion(t *testing.T) {
+	regionOf := func(server int) int {
+		if server < 4 {
+			return 0
+		}
+		return 1
+	}
+	ds := []Delta{
+		{Kind: KindDemand, Server: 1, Object: 0, Reads: 1},
+		{Kind: KindDemand, Server: 5, Object: 2, Reads: 1},
+		{Kind: KindAddObject, Object: 9, Size: 4, Primary: 0},
+	}
+	per, membership, err := RouteDeltas(ds, regionOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if membership {
+		t.Fatal("demand-only batch flagged as membership")
+	}
+	if len(per[0]) != 2 || len(per[1]) != 2 {
+		t.Fatalf("split %d/%d, want 2/2 (catalogue delta replicated)", len(per[0]), len(per[1]))
+	}
+	if _, membership, _ = RouteDeltas([]Delta{{Kind: KindServerLeave, Server: 1}}, regionOf, 2); !membership {
+		t.Fatal("leave delta not flagged as membership")
+	}
+	if _, _, err = RouteDeltas([]Delta{{Kind: KindDemand, Server: 2, Object: 0, Reads: 1}}, func(int) int { return -1 }, 2); err == nil {
+		t.Fatal("unassigned server routed without error")
+	}
+}
+
+// TestMetricsRowCacheSurfaced pins the /metrics satellite: when the cost
+// oracle is the lazy CSR with its LRU row cache, the controller's metrics
+// expose the hit/miss/eviction counters as row_cache.
+func TestMetricsRowCacheSurfaced(t *testing.T) {
+	testutil.LeakCheck(t)
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Servers: 16, Objects: 40, Requests: 4000, RWRatio: 0.8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(6)
+	g, err := topology.Random(16, 0.3, topology.DefaultWeights, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := distoracle.Build(g, distoracle.Options{Mode: distoracle.ModeCSR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := replication.GenerateCapacities(w, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := replication.NewProblem(cost, w, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(p.Cost, p.Work, p.Capacity, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if err := ctrl.SolveNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := ctrl.Metrics()
+	if m.RowCache == nil {
+		t.Fatal("metrics over a CSR oracle carry no row_cache")
+	}
+	if m.RowCache.Hits+m.RowCache.Misses == 0 {
+		t.Fatal("row cache counters all zero after a solve")
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["row_cache"]; !ok {
+		t.Fatalf("row_cache missing from metrics JSON: %s", blob)
+	}
+
+	// A dense oracle has no counters to surface, and must not fabricate any.
+	pd := testutil.MustBuild(testutil.Small(41))
+	dense, err := New(pd.Cost, pd.Work, pd.Capacity, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dense.Close()
+	if dense.Metrics().RowCache != nil {
+		t.Fatal("dense oracle reported a row cache")
+	}
+}

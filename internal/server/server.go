@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,9 +32,25 @@ const maxBody = 32 << 20
 // overwritten in arrival order. Power of two so the modulo is a mask.
 const ringSize = 4096
 
-// Server is the HTTP facade over one controller.
+// Backend is the controller surface the HTTP facade serves. The online
+// controller implements it directly (the single-daemon case); the cluster
+// coordinator wraps one to intercept delta batches (cross-shard forwarding)
+// and solves (fan-out to regional games followed by the top-level merge)
+// while serving routes and the epoch stream from its merged mirror.
+type Backend interface {
+	Current() *online.Epoch
+	Route(server int, object int32) (int32, error)
+	ApplyDeltas(ds []online.Delta) (online.Applied, error)
+	SolveNow(ctx context.Context) error
+	Metrics() online.Metrics
+	Subscribe(since uint64, buf int) *online.Subscription
+	Unsubscribe(sub *online.Subscription)
+	DrainSubscribers()
+}
+
+// Server is the HTTP facade over one backend.
 type Server struct {
-	ctrl  *online.Controller
+	ctrl  Backend
 	mux   *http.ServeMux
 	start time.Time
 
@@ -41,9 +58,9 @@ type Server struct {
 	routeNanos [ringSize]atomic.Int64
 }
 
-// New wires the handler set for ctrl.
-func New(ctrl *online.Controller) *Server {
-	s := &Server{ctrl: ctrl, mux: http.NewServeMux(), start: time.Now()}
+// New wires the handler set for b.
+func New(b Backend) *Server {
+	s := &Server{ctrl: b, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("GET /route", s.handleRoute)
 	s.mux.HandleFunc("POST /route", s.handleRouteBatch)
 	s.mux.HandleFunc("GET /epochs", s.handleEpochs)
@@ -57,6 +74,12 @@ func New(ctrl *online.Controller) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Extend registers an additional handler on the server's mux — the cluster
+// roles add their GET /cluster status endpoint this way. Patterns follow
+// net/http mux syntax ("GET /cluster"); registration must happen before the
+// server starts taking requests.
+func (s *Server) Extend(pattern string, h http.HandlerFunc) { s.mux.HandleFunc(pattern, h) }
 
 // Drain ends every epoch subscription with a terminal event and refuses new
 // ones, so in-flight long-poll and SSE handlers return promptly. The daemon
