@@ -38,9 +38,11 @@ bench:
 # (M=48), M=500 and M=1000 — including the incremental kernel's
 # w1/w2/w4/w8 worker sweep — the distance-oracle micro-benchmarks, the
 # dense/CSR/landmark solve matrix at M=1k and (BENCH_M10K=1, set here)
-# M=10k with its rss-MiB peak-memory column, and the routing-plane
-# comparison (HTTP single vs batch vs client-side, routes/s column) —
-# parsed into a JSON artifact (BENCH_*.json, CI regression gate). Tune with
+# M=10k with its rss-MiB peak-memory column, the routing-plane comparison
+# (HTTP single vs batch vs client-side, routes/s column), and the cluster
+# solve comparison with its per-phase metrics (region-solve-ns,
+# assign-bytes, ... — gated in CI via benchjson -gate-metrics) — parsed
+# into a JSON artifact (BENCH_*.json, CI regression gate). Tune with
 #   make bench-json BENCH_PATTERN='AGTRAMEnginesLarge' BENCHTIME=10x BENCH_OUT=pr.json
 BENCH_PATTERN ?= AGTRAMEngines|Solve$$|DistOracle
 BENCHTIME ?= 5x
@@ -49,6 +51,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCHTIME) . > bench.out
 	BENCH_M10K=1 $(GO) test -run '^$$' -bench 'OracleSolve/M10k' -benchmem -benchtime 1x . >> bench.out
 	$(GO) test -run '^$$' -bench 'RoutingPlane' -benchmem -benchtime $(BENCHTIME) ./internal/server >> bench.out
+	$(GO) test -run '^$$' -bench 'ClusterSolve' -benchmem -benchtime $(BENCHTIME) ./internal/cluster >> bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
 	@rm -f bench.out
@@ -100,12 +103,15 @@ scenarios:
 # membership transports and the hierarchy failure modes the degradation
 # switch reuses — all leak-checked under the race detector, twice so probe
 # loops and teardown cannot pass on one lucky schedule. Bench: multi-shard
-# vs single-daemon solve wall-clock at M=1000, parsed into BENCH_9.json.
+# vs single-daemon solve wall-clock at M=1000 with per-phase metrics
+# (partition/ship/regional-solve/merge, wire bytes per assignment), parsed
+# into BENCH_10.json. 5 iterations so the steady state — where the merge
+# memo and pooled frames pay off — dominates the cold first merge.
 cluster:
 	$(GO) test -race -count=2 ./internal/cluster
 	$(GO) test -race -count=2 -run 'TestTopFails|TestFailedRegions|TestAllRegionsFailed|TestCancelledDuringDegraded' ./internal/hierarchy
-	$(GO) test -run '^$$' -bench 'ClusterSolve' -benchmem -benchtime 1x ./internal/cluster | tee cluster_bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_9.json < cluster_bench.out
+	$(GO) test -run '^$$' -bench 'ClusterSolve' -benchmem -benchtime 5x ./internal/cluster | tee cluster_bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_10.json < cluster_bench.out
 	@rm -f cluster_bench.out
 
 # Short smoke of each fuzz target beyond its checked-in corpus.
@@ -113,5 +119,6 @@ fuzz:
 	$(GO) test -fuzz FuzzSchemaPlaceRemove -fuzztime 10s ./internal/replication
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/topology
 	$(GO) test -fuzz FuzzDeltasDecoder -fuzztime 10s ./internal/server
+	$(GO) test -fuzz FuzzCompactRoundTrip -fuzztime 10s ./internal/online
 
 ci: vet staticcheck build race loadtest scenarios faultmatrix cluster bench

@@ -10,6 +10,13 @@
 // present in both regressed in ns/op by more than -threshold percent:
 //
 //	benchjson -compare main.json pr.json -threshold 15
+//
+// -gate-metrics widens the gate beyond ns/op to named b.ReportMetric units:
+//
+//	benchjson -compare main.json pr.json -gate-metrics region-solve-ns,assign-bytes
+//
+// A benchmark then also fails the gate when any listed metric, present in
+// both artifacts, regressed (grew) by more than the threshold.
 package main
 
 import (
@@ -54,15 +61,22 @@ func main() {
 		out       = flag.String("o", "", "write JSON artifact to this file (default stdout)")
 		compare   = flag.Bool("compare", false, "compare two artifacts: benchjson -compare old.json new.json")
 		threshold = flag.Float64("threshold", 15, "compare: fail on ns/op regressions above this percent")
+		gate      = flag.String("gate-metrics", "", "compare: comma-separated metric units also gated at the threshold (e.g. region-solve-ns,assign-bytes)")
 	)
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-threshold pct]")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-threshold pct] [-gate-metrics units]")
 			os.Exit(1)
 		}
-		code, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		var gates []string
+		for _, g := range strings.Split(*gate, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				gates = append(gates, g)
+			}
+		}
+		code, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, gates)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -172,8 +186,8 @@ func load(path string) (*Artifact, error) {
 
 // runCompare writes the Markdown delta report and returns the exit code:
 // 0 when everything holds, 2 when a shared benchmark regressed beyond the
-// threshold.
-func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+// threshold — in ns/op, or in any of the gated metric units.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64, gates []string) (int, error) {
 	oldArt, err := load(oldPath)
 	if err != nil {
 		return 0, err
@@ -188,37 +202,87 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, e
 	}
 
 	fmt.Fprintf(w, "### Benchmark comparison (threshold %.0f%% ns/op)\n\n", threshold)
-	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | Δ allocs/op | routes/s | RSS MiB |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
+	gateCol := ""
+	if len(gates) > 0 {
+		fmt.Fprintf(w, "Gated metrics: %s\n\n", strings.Join(gates, ", "))
+		gateCol = " gated |"
+	}
+	fmt.Fprintf(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | Δ allocs/op | routes/s | RSS MiB |%s\n", gateCol)
+	if len(gates) > 0 {
+		fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|")
+	} else {
+		fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
+	}
 	regressions := 0
 	for _, nb := range newArt.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok || ob.NsPerOp == 0 {
-			fmt.Fprintf(w, "| %s | — | %s | new | | %s | %s |\n",
+			cell := ""
+			if len(gates) > 0 {
+				c, _ := fmtGateDeltas(nil, nb.Metrics, gates, threshold)
+				cell = " " + c + " |"
+			}
+			fmt.Fprintf(w, "| %s | — | %s | new | | %s | %s |%s\n",
 				nb.Name, fmtNs(nb.NsPerOp),
 				fmtRateDelta(0, nb.Metrics["routes/s"]),
-				fmtRSSDelta(0, nb.Metrics["rss-MiB"]))
+				fmtRSSDelta(0, nb.Metrics["rss-MiB"]), cell)
 			continue
 		}
 		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		regressed := delta > threshold
 		mark := ""
-		if delta > threshold {
-			regressions++
+		if regressed {
 			mark = " ⚠️"
 		}
-		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s | %s | %s |\n",
+		cell := ""
+		if len(gates) > 0 {
+			c, bad := fmtGateDeltas(ob.Metrics, nb.Metrics, gates, threshold)
+			cell = " " + c + " |"
+			regressed = regressed || bad
+		}
+		if regressed {
+			regressions++
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%%%s | %s | %s | %s |%s\n",
 			nb.Name, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta, mark,
 			fmtAllocDelta(ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]),
 			fmtRateDelta(ob.Metrics["routes/s"], nb.Metrics["routes/s"]),
-			fmtRSSDelta(ob.Metrics["rss-MiB"], nb.Metrics["rss-MiB"]))
+			fmtRSSDelta(ob.Metrics["rss-MiB"], nb.Metrics["rss-MiB"]), cell)
 	}
 	fmt.Fprintln(w)
 	if regressions > 0 {
-		fmt.Fprintf(w, "**%d benchmark(s) regressed more than %.0f%% in ns/op.**\n", regressions, threshold)
+		fmt.Fprintf(w, "**%d benchmark(s) regressed more than %.0f%%.**\n", regressions, threshold)
 		return 2, nil
 	}
-	fmt.Fprintln(w, "No ns/op regressions beyond the threshold.")
+	fmt.Fprintln(w, "No regressions beyond the threshold.")
 	return 0, nil
+}
+
+// fmtGateDeltas renders the gated-metrics cell ("unit: old → new" per unit
+// present in either artifact) and reports whether any unit present in both
+// grew by more than the threshold. Units absent on one side never gate —
+// a metric newly added (or dropped) by the PR has no baseline to regress
+// against.
+func fmtGateDeltas(oldM, newM map[string]float64, gates []string, threshold float64) (string, bool) {
+	var parts []string
+	bad := false
+	for _, g := range gates {
+		ov, nv := oldM[g], newM[g]
+		switch {
+		case ov == 0 && nv == 0:
+			continue
+		case ov == 0:
+			parts = append(parts, fmt.Sprintf("%s: %.0f", g, nv))
+		default:
+			mark := ""
+			if nv > ov*(1+threshold/100) {
+				bad = true
+				mark = " ⚠️"
+			}
+			parts = append(parts, fmt.Sprintf("%s: %.0f → %.0f%s", g, ov, nv, mark))
+		}
+	}
+	return strings.Join(parts, "<br>"), bad
 }
 
 func fmtNs(ns float64) string {

@@ -82,7 +82,7 @@ func TestCompare(t *testing.T) {
 		{Name: "New", NsPerOp: 7, Metrics: map[string]float64{"routes/s": 80.6e6}},
 	}})
 	var sb strings.Builder
-	code, err := runCompare(&sb, oldPath, newOK, 15)
+	code, err := runCompare(&sb, oldPath, newOK, 15, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestCompare(t *testing.T) {
 		{Name: "B", NsPerOp: 3000},
 	}})
 	sb.Reset()
-	code, err = runCompare(&sb, oldPath, newBad, 15)
+	code, err = runCompare(&sb, oldPath, newBad, 15, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,73 @@ func TestCompare(t *testing.T) {
 }
 
 func TestCompareMissingFile(t *testing.T) {
-	if _, err := runCompare(&strings.Builder{}, "does-not-exist.json", "also-missing.json", 15); err == nil {
+	if _, err := runCompare(&strings.Builder{}, "does-not-exist.json", "also-missing.json", 15, nil); err == nil {
 		t.Fatal("comparing missing files succeeded")
+	}
+}
+
+// TestCompareGatedMetrics pins the widened gate: a regression in a gated
+// b.ReportMetric unit fails the compare even when ns/op held steady, while
+// regressions in unlisted metrics and metrics without a baseline do not.
+func TestCompareGatedMetrics(t *testing.T) {
+	dir := t.TempDir()
+	gates := []string{"region-solve-ns", "assign-bytes"}
+	oldPath := writeArtifact(t, dir, "old.json", Artifact{Benchmarks: []Benchmark{
+		{Name: "ClusterSolve/shards=4", NsPerOp: 16e6, Metrics: map[string]float64{
+			"region-solve-ns": 1.4e6, "assign-bytes": 266000, "merge-ns": 9e6,
+		}},
+	}})
+
+	// Within threshold on both gated units; merge-ns doubling is not gated.
+	newOK := writeArtifact(t, dir, "new_ok.json", Artifact{Benchmarks: []Benchmark{
+		{Name: "ClusterSolve/shards=4", NsPerOp: 16.1e6, Metrics: map[string]float64{
+			"region-solve-ns": 1.5e6, "assign-bytes": 270000, "merge-ns": 18e6,
+		}},
+	}})
+	var sb strings.Builder
+	code, err := runCompare(&sb, oldPath, newOK, 15, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d with gated metrics within threshold:\n%s", code, sb.String())
+	}
+	for _, want := range []string{"Gated metrics: region-solve-ns, assign-bytes", "region-solve-ns: 1400000 → 1500000"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Regional solve blowing up by 2x must fail even with ns/op flat.
+	newBad := writeArtifact(t, dir, "new_bad.json", Artifact{Benchmarks: []Benchmark{
+		{Name: "ClusterSolve/shards=4", NsPerOp: 16e6, Metrics: map[string]float64{
+			"region-solve-ns": 2.8e6, "assign-bytes": 266000,
+		}},
+	}})
+	sb.Reset()
+	code, err = runCompare(&sb, oldPath, newBad, 15, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code %d on a gated-metric regression, want 2:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "1 benchmark(s) regressed") {
+		t.Fatalf("report missing regression summary:\n%s", sb.String())
+	}
+
+	// A gated unit with no baseline (new on the PR side) never gates.
+	newFresh := writeArtifact(t, dir, "new_fresh.json", Artifact{Benchmarks: []Benchmark{
+		{Name: "ClusterSolve/shards=4", NsPerOp: 16e6, Metrics: map[string]float64{
+			"assign-bytes": 266000, "wire-bytes": 1e9,
+		}},
+	}})
+	sb.Reset()
+	code, err = runCompare(&sb, oldPath, newFresh, 15, append(gates, "wire-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d when the gated unit has no baseline:\n%s", code, sb.String())
 	}
 }

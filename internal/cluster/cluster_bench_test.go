@@ -35,9 +35,13 @@ func benchProblem(b *testing.B) *replication.Problem {
 // BenchmarkClusterSolve compares one full cluster solve — regional games in
 // parallel over loopback TCP plus the top-level merge — against the single
 // daemon solving the whole instance, at M=1000. The savings-pct metric
-// records what sharding costs in placement quality (regions cannot place
-// replicas across region borders), the ns/op column what it buys in
-// wall-clock.
+// records what sharding costs in placement quality (the boundary-replica
+// exchange recovers part of what pure region-local placement forfeits), the
+// ns/op column what it buys in wall-clock. The sharded runs additionally
+// break the wall-clock into phases from the coordinator's counters:
+// partition-ns / ship-ns / assign-bytes for the (one) assignment,
+// solve-ns (coordinator-side fan-out), region-solve-ns (slowest shard's
+// own solve, RPC overhead excluded) and merge-ns per cluster solve.
 func BenchmarkClusterSolve(b *testing.B) {
 	p := benchProblem(b)
 	cfg := online.Config{Seed: 42}
@@ -60,7 +64,10 @@ func BenchmarkClusterSolve(b *testing.B) {
 	})
 
 	for _, shards := range []int{2, 4} {
-		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+		// "=" rather than "-" before the count: benchjson strips a trailing
+		// "-N" as the GOMAXPROCS tag (which single-proc runs omit), and the
+		// shard counts must not collapse into one compare-gate row.
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			var addrs []string
 			var shs []*Shard
 			for i := 0; i < shards; i++ {
@@ -82,6 +89,7 @@ func BenchmarkClusterSolve(b *testing.B) {
 			if err := co.AssignNow(ctx); err != nil {
 				b.Fatal(err)
 			}
+			ph0 := co.Phases()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := co.SolveNow(ctx); err != nil {
@@ -90,6 +98,16 @@ func BenchmarkClusterSolve(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(co.Metrics().Savings, "savings-pct")
+			ph := co.Phases()
+			if ph.Assigns > 0 {
+				b.ReportMetric(float64(ph.PartitionNs)/float64(ph.Assigns), "partition-ns")
+				b.ReportMetric(float64(ph.ShipNs)/float64(ph.Assigns), "ship-ns")
+				b.ReportMetric(float64(ph.AssignBytes)/float64(ph.Assigns), "assign-bytes")
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(ph.SolveNs-ph0.SolveNs)/n, "solve-ns")
+			b.ReportMetric(float64(ph.RegionSolveNs), "region-solve-ns")
+			b.ReportMetric(float64(ph.MergeNs-ph0.MergeNs)/n, "merge-ns")
 		})
 	}
 }

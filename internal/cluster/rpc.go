@@ -1,32 +1,42 @@
 // Package cluster shards one DRP instance across daemons: a coordinator
 // partitions the servers into communication-cost regions (hierarchy's
-// partitioner), ships each region's masked state to a shard daemon over a
-// small length-prefixed RPC transport, runs the regional AGT-RAM games
-// concurrently, and merges the regional winners through a top-level delegate
-// game — the paper's semi-distributed mechanism stretched over processes.
+// partitioner), compacts each region into an M'×N' sub-instance with a dense
+// index mapping back to global ids, ships it to a shard daemon over a small
+// length-prefixed RPC transport, runs the regional AGT-RAM games
+// concurrently, and merges the regional winners — translated back through
+// their mappings — through a top-level delegate game with a boundary-replica
+// exchange: the paper's semi-distributed mechanism stretched over processes.
 //
 // The layer cake, bottom to top:
 //
-//   - rpc.go: the transport. 4-byte big-endian length-prefixed frames carrying
-//     a gob- or JSON-encoded envelope; a synchronous Client with lazy redial
-//     and an Endpoint dispatching registered handlers, one goroutine per
-//     connection. Dialers compose with internal/faultnet, so the fault
-//     matrix drives the same deterministic fault model as the engine tests.
+//   - rpc.go: the transport. 4-byte big-endian length-prefixed frames with a
+//     hand-encoded envelope (id, method, error) wrapping a gob- or
+//     JSON-encoded body; a synchronous Client with lazy redial and an
+//     Endpoint dispatching registered handlers, one goroutine per
+//     connection. Read and write buffers are owned per client / per
+//     connection and reused across calls — the control plane's frames never
+//     allocate in steady state beyond the codec's own work. Dialers compose
+//     with internal/faultnet, so the fault matrix drives the same
+//     deterministic fault model as the engine tests.
 //   - membership.go: static seed list + health probes with a consecutive-
 //     failure threshold (Alive → Suspect → Dead, probes recover the peer).
 //   - shard.go: one regional game. Holds an online.Controller over the
-//     masked state the coordinator assigned, degrades to autonomous
-//     self-solves when the coordinator stops answering probes.
-//   - coordinator.go: membership + partition + delta forwarding + the
-//     fan-out solve and top-level merge, behind the same server.Backend
-//     interface the single daemon serves HTTP from.
+//     compacted sub-instance the coordinator assigned (arena, kernel and
+//     oracle rows all sized to the region), translates global ids at the RPC
+//     boundary, degrades to autonomous self-solves when the coordinator
+//     stops answering probes.
+//   - coordinator.go: membership + partition + compaction + mapping-aware
+//     delta forwarding + the fan-out solve and translate-then-union merge,
+//     behind the same server.Backend interface the single daemon serves
+//     HTTP from.
 //
-// Determinism boundary: regional games are deterministic in (masked state,
-// seed) exactly like the single daemon; the merge is deterministic in the
-// set of regional placements. Membership timing (when a probe declares a
-// peer dead) is wall-clock and therefore not deterministic — tests pin it by
-// calling ProbeOnce/AssignNow/MergeNow explicitly instead of running the
-// background loops.
+// Determinism boundary: regional games are deterministic in (sub-instance,
+// seed) exactly like the single daemon; the merge — including the boundary
+// exchange's sorted ad ordering — is deterministic in the set of regional
+// placements. Membership timing (when a probe declares a peer dead) is
+// wall-clock and therefore not deterministic — tests pin it by calling
+// ProbeOnce/AssignNow/MergeNow explicitly instead of running the background
+// loops.
 package cluster
 
 import (
@@ -40,6 +50,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultnet"
@@ -90,54 +101,112 @@ func (c Codec) unmarshal(b []byte, v any) error {
 // bigger buffer.
 const maxFrame = 256 << 20
 
-// frame is the wire envelope. Method is set on requests; Err carries a
-// remote handler failure on responses. Body is the codec-encoded payload —
-// encoded separately from the envelope so handlers decode into their own
-// types.
+// The wire envelope, hand-encoded into one buffer so a frame costs a single
+// Write and zero intermediate allocations (the old envelope was itself
+// codec-encoded around the codec-encoded body — every frame paid a second
+// full encode and a fresh byte slice; BENCH_9 showed that at 47k allocs/op
+// for a 2-shard solve). Layout after the 4-byte big-endian length prefix,
+// which covers everything that follows:
+//
+//	8B id | 2B method len | method | 4B err len | err | body...
+//
+// Method is set on requests; Err carries a remote handler failure on
+// responses. Body is the codec-encoded payload, decoded by the receiver into
+// its own types.
 type frame struct {
 	ID     uint64
 	Method string
 	Err    string
-	Body   []byte
+	Body   []byte // sub-slice of the read buffer: valid until the next read reuses it
 }
 
-// writeFrame encodes f and writes it length-prefixed (4-byte big-endian).
-func writeFrame(w io.Writer, c Codec, f *frame) error {
-	b, err := c.marshal(f)
-	if err != nil {
-		return fmt.Errorf("cluster: encode frame: %w", err)
-	}
-	if len(b) > maxFrame {
-		return fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", len(b), maxFrame)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(b)
-	return err
+// envelopeMin is the smallest legal frame: empty method, error and body.
+const envelopeMin = 8 + 2 + 4
+
+// sliceWriter lets the codecs encode straight into the frame buffer.
+type sliceWriter struct{ b *[]byte }
+
+func (s sliceWriter) Write(p []byte) (int, error) {
+	*s.b = append(*s.b, p...)
+	return len(p), nil
 }
 
-// readFrame reads one length-prefixed frame.
-func readFrame(r io.Reader, c Codec) (*frame, error) {
+// appendFrame builds one framed message into buf (reusing its capacity) and
+// returns the full frame including the length prefix. Errors are
+// encode/size-only — nothing has touched the wire, so the caller can still
+// send a replacement frame on the same connection.
+func appendFrame(buf []byte, c Codec, id uint64, method, errMsg string, v any) ([]byte, error) {
+	if len(method) > 0xffff {
+		return nil, fmt.Errorf("cluster: method name of %d bytes", len(method))
+	}
+	b := append(buf[:0], 0, 0, 0, 0) // length prefix placeholder
+	b = binary.BigEndian.AppendUint64(b, id)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(method)))
+	b = append(b, method...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(errMsg)))
+	b = append(b, errMsg...)
+	if v != nil {
+		sw := sliceWriter{&b}
+		var err error
+		if c == CodecJSON {
+			err = json.NewEncoder(sw).Encode(v)
+		} else {
+			err = gob.NewEncoder(sw).Encode(v)
+		}
+		if err != nil {
+			return b[:0], fmt.Errorf("cluster: encode frame body: %w", err)
+		}
+	}
+	n := len(b) - 4
+	if n > maxFrame {
+		return b[:0], fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	return b, nil
+}
+
+// readFrame reads one length-prefixed frame into buf (growing and reusing it
+// across calls) and parses the envelope. The returned frame's Body aliases
+// buf — the caller decodes it before the next readFrame on the same buffer.
+// The length prefix is validated against maxFrame before any allocation.
+func readFrame(r io.Reader, buf *[]byte) (*frame, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", n, maxFrame)
+		return nil, 4, fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", n, maxFrame)
 	}
-	b := make([]byte, n)
+	if n < envelopeMin {
+		return nil, 4, fmt.Errorf("cluster: frame of %d bytes is below the %d-byte envelope", n, envelopeMin)
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
 	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, err
+		return nil, 4, err
 	}
 	f := new(frame)
-	if err := c.unmarshal(b, f); err != nil {
-		return nil, fmt.Errorf("cluster: decode frame: %w", err)
+	f.ID = binary.BigEndian.Uint64(b)
+	off := 8
+	ml := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if off+ml+4 > len(b) {
+		return nil, 4 + int(n), fmt.Errorf("cluster: frame method field overruns the envelope")
 	}
-	return f, nil
+	f.Method = string(b[off : off+ml])
+	off += ml
+	el := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if off+el > len(b) {
+		return nil, 4 + int(n), fmt.Errorf("cluster: frame error field overruns the envelope")
+	}
+	f.Err = string(b[off : off+el])
+	off += el
+	f.Body = b[off:]
+	return f, 4 + int(n), nil
 }
 
 // RemoteError is a handler failure that crossed the wire: the call reached
@@ -183,7 +252,8 @@ func FaultyDialer(cfg *faultnet.Config, peer int) DialFunc {
 // Client is a synchronous RPC client over one connection: calls are
 // serialized (the cluster's control plane is low-rate; concurrency comes
 // from one client per peer), the connection is dialed lazily and redialed
-// after any transport error.
+// after any transport error. The frame buffers are owned by the client and
+// reused across calls under the same serialization.
 type Client struct {
 	addr  string
 	codec Codec
@@ -192,6 +262,11 @@ type Client struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	nextID uint64
+	wbuf   []byte
+	rbuf   []byte
+
+	sent atomic.Uint64
+	recv atomic.Uint64
 }
 
 // NewClient builds a client for one peer address. A nil dial uses plain TCP.
@@ -204,6 +279,12 @@ func NewClient(addr string, codec Codec, dial DialFunc) *Client {
 
 // Addr returns the peer address the client dials.
 func (c *Client) Addr() string { return c.addr }
+
+// WireBytes reports the cumulative bytes this client has sent and received,
+// frames included — the per-phase benchmark's wire-cost column.
+func (c *Client) WireBytes() (sent, recv uint64) {
+	return c.sent.Load(), c.recv.Load()
+}
 
 // Call invokes method on the peer: req is encoded into the request body,
 // the response body decoded into resp (ignored when resp is nil). The
@@ -229,17 +310,20 @@ func (c *Client) Call(ctx context.Context, method string, req, resp any) error {
 		return err
 	}
 
-	body, err := c.codec.marshal(req)
+	c.nextID++
+	id := c.nextID
+	b, err := appendFrame(c.wbuf, c.codec, id, method, "", req)
+	c.wbuf = b
 	if err != nil {
 		return fmt.Errorf("cluster: encode %s request: %w", method, err)
 	}
-	c.nextID++
-	id := c.nextID
-	if err := writeFrame(c.conn, c.codec, &frame{ID: id, Method: method, Body: body}); err != nil {
+	if _, err := c.conn.Write(b); err != nil {
 		c.dropConn()
 		return fmt.Errorf("cluster: send %s to %s: %w", method, c.addr, err)
 	}
-	f, err := readFrame(c.conn, c.codec)
+	c.sent.Add(uint64(len(b)))
+	f, nr, err := readFrame(c.conn, &c.rbuf)
+	c.recv.Add(uint64(nr))
 	if err != nil {
 		c.dropConn()
 		return fmt.Errorf("cluster: receive %s from %s: %w", method, c.addr, err)
@@ -370,22 +454,33 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 		delete(e.conns, conn)
 		e.mu.Unlock()
 	}()
+	var rbuf, wbuf []byte // reused across this connection's frames
 	for {
-		req, err := readFrame(conn, e.codec)
+		req, _, err := readFrame(conn, &rbuf)
 		if err != nil {
 			return
 		}
-		resp := &frame{ID: req.ID}
+		var v any
+		var errMsg string
 		if h, ok := e.handlers[req.Method]; !ok {
-			resp.Err = fmt.Sprintf("unknown method %q", req.Method)
-		} else if v, herr := h(e.baseCtx, req.Body); herr != nil {
-			resp.Err = herr.Error()
-		} else if v != nil {
-			if resp.Body, err = e.codec.marshal(v); err != nil {
-				resp.Body, resp.Err = nil, fmt.Sprintf("encode %s response: %v", req.Method, err)
+			errMsg = fmt.Sprintf("unknown method %q", req.Method)
+		} else if r, herr := h(e.baseCtx, req.Body); herr != nil {
+			errMsg = herr.Error()
+		} else {
+			v = r
+		}
+		b, aerr := appendFrame(wbuf, e.codec, req.ID, "", errMsg, v)
+		wbuf = b
+		if aerr != nil {
+			// Encode failures never touch the wire, so the connection is
+			// still in sync — report them to the caller as a remote error.
+			b, aerr = appendFrame(wbuf, e.codec, req.ID, "", fmt.Sprintf("encode %s response: %v", req.Method, aerr), nil)
+			wbuf = b
+			if aerr != nil {
+				return
 			}
 		}
-		if err := writeFrame(conn, e.codec, resp); err != nil {
+		if _, err := conn.Write(b); err != nil {
 			return
 		}
 	}

@@ -201,13 +201,49 @@ func TestRPCTruncatedLinkFailsCall(t *testing.T) {
 	}
 }
 
+// TestRPCSteadyStateAllocs pins the transport's allocation budget: after
+// warm-up, a round-trip reuses the client's and the connection's frame
+// buffers, so the only per-call allocations left are the codec's own (gob
+// re-sends type info per message). The bound has headroom over the measured
+// ~350 — it exists to catch the envelope regressing to per-call buffer or
+// double-encode allocations (BENCH_9 measured 47k allocs/op for a 2-shard
+// solve before frames were pooled).
+func TestRPCSteadyStateAllocs(t *testing.T) {
+	testutil.LeakCheck(t)
+	ep := echoEndpoint(t, CodecGob)
+	c := NewClient(ep.Addr(), CodecGob, nil)
+	defer c.Close()
+	var rep echoMsg
+	for i := 0; i < 5; i++ {
+		if err := c.Call(context.Background(), "echo", &echoMsg{Text: "warm", N: i}, &rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.Call(context.Background(), "echo", &echoMsg{Text: "steady", N: 1}, &rep); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 500 {
+		t.Errorf("steady-state RPC round-trip allocates %.0f objects (budget 500)", allocs)
+	}
+	sent, recv := c.WireBytes()
+	if sent == 0 || recv == 0 {
+		t.Errorf("wire byte counters not advancing: sent=%d recv=%d", sent, recv)
+	}
+}
+
 func TestFrameOversizeRejected(t *testing.T) {
 	// Read side: a length prefix past maxFrame is rejected before any
 	// allocation, so a hostile or corrupt peer cannot OOM the daemon.
 	var buf bytes.Buffer
 	binary.Write(&buf, binary.BigEndian, uint32(maxFrame+1))
-	if _, err := readFrame(&buf, CodecGob); err == nil {
+	var scratch []byte
+	if _, _, err := readFrame(&buf, &scratch); err == nil {
 		t.Fatal("oversized frame length accepted")
+	}
+	if scratch != nil {
+		t.Fatal("oversized frame length allocated a buffer")
 	}
 }
 

@@ -34,7 +34,10 @@ type ShardConfig struct {
 }
 
 // Shard runs one regional AGT-RAM game: an online controller over the
-// masked state the coordinator assigned, exposed over the RPC endpoint. In
+// compacted M'×N' sub-instance the coordinator assigned, exposed over the
+// RPC endpoint. The controller, its arenas and the distance-oracle view are
+// all sized to the region; RPC requests and replies carry global ids and are
+// translated through the assignment's index mapping at this boundary. In
 // hierarchical mode the coordinator decides when to solve; when the
 // coordinator stops answering probes the shard degrades to autonomous mode
 // — the paper's failure story — and re-solves itself on drift, exactly like
@@ -47,8 +50,9 @@ type Shard struct {
 
 	mu         sync.Mutex
 	ctrl       *online.Controller
+	region     *online.CompactRegion // guarded by mu, swapped with ctrl
 	members    []int32
-	memberOf   []bool
+	memberOf   []bool // indexed by global server id
 	assignVer  uint64
 	mode       hierarchy.Mode
 	assigns    int64
@@ -186,21 +190,33 @@ func (s *Shard) handlePing(ctx context.Context, req *PingRequest) (any, error) {
 	return rep, nil
 }
 
-// handleAssign installs a new region: a fresh controller over the masked
-// snapshot, the shipped global placement carried onto it. Stale generations
-// (version at or below the current one) are rejected so a delayed re-send
-// cannot roll the shard back.
+// handleAssign installs a new region: a fresh controller over the compacted
+// sub-instance, the shipped region-local placement carried onto it. Stale
+// generations (version at or below the current one) are rejected so a
+// delayed re-send cannot roll the shard back.
 func (s *Shard) handleAssign(ctx context.Context, req *AssignRequest) (any, error) {
-	if req.State == nil {
-		return nil, errors.New("assign without state snapshot")
+	if req.Region == nil || req.Region.State == nil {
+		return nil, errors.New("assign without region sub-instance")
 	}
-	ctrl, err := online.NewFromState(s.cost, req.State, s.cfg.Controller)
+	ctrl, err := online.NewFromCompact(s.cost, req.Region, s.cfg.Controller)
 	if err != nil {
 		return nil, fmt.Errorf("rebuild controller: %w", err)
 	}
 	dropped := 0
 	if req.Carry != nil {
 		dropped = ctrl.InstallPlacement(req.Carry)
+	}
+	maxID := -1
+	for _, i := range req.Members {
+		if int(i) > maxID {
+			maxID = int(i)
+		}
+	}
+	memberOf := make([]bool, maxID+1)
+	for _, i := range req.Members {
+		if i >= 0 {
+			memberOf[i] = true
+		}
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -216,14 +232,9 @@ func (s *Shard) handleAssign(ctx context.Context, req *AssignRequest) (any, erro
 	}
 	old := s.ctrl
 	s.ctrl = ctrl
+	s.region = req.Region
 	s.assignVer = req.Version
 	s.members = append([]int32(nil), req.Members...)
-	memberOf := make([]bool, len(req.State.Capacity))
-	for _, i := range req.Members {
-		if int(i) < len(memberOf) {
-			memberOf[i] = true
-		}
-	}
 	s.memberOf = memberOf
 	s.assigns++
 	s.mu.Unlock()
@@ -236,28 +247,60 @@ func (s *Shard) handleAssign(ctx context.Context, req *AssignRequest) (any, erro
 }
 
 // applyGuarded is the shared delta path for the RPC handler and the HTTP
-// backend: generation check, ownership check, then the controller.
+// backend. Deltas arrive in global coordinates; the guards (generation,
+// ownership, kind) run on them first, then the batch is translated through
+// the region mapping and applied. Add-object deltas extend the object
+// mapping, but the extension is committed only after the controller accepted
+// the batch — and only if this is still the same assignment — so a rejected
+// batch cannot desynchronize mapping and state. Direct posts (assign 0, the
+// HTTP backend) may not add objects: global object ids are allocated by the
+// coordinator's mirror, which also means concurrent mapping extensions can
+// only come from the coordinator's serialized forwarding path.
 func (s *Shard) applyGuarded(assign uint64, ds []online.Delta) (online.Applied, error) {
 	s.mu.Lock()
-	ctrl, memberOf, ver, mode := s.ctrl, s.memberOf, s.assignVer, s.mode
-	s.mu.Unlock()
+	ctrl, region, memberOf, ver, mode := s.ctrl, s.region, s.memberOf, s.assignVer, s.mode
 	if ctrl == nil {
+		s.mu.Unlock()
 		return online.Applied{}, ErrUnassigned
 	}
 	if assign != 0 && assign != ver {
+		s.mu.Unlock()
 		return online.Applied{}, fmt.Errorf("cluster: delta batch for assignment %d, shard runs %d", assign, ver)
 	}
 	for i, d := range ds {
 		switch d.Kind {
 		case online.KindServerJoin, online.KindServerLeave:
+			s.mu.Unlock()
 			return online.Applied{}, fmt.Errorf("cluster: delta %d: membership changes go through the coordinator", i)
 		case online.KindDemand:
 			if d.Server < 0 || d.Server >= len(memberOf) || !memberOf[d.Server] {
+				s.mu.Unlock()
 				return online.Applied{}, fmt.Errorf("cluster: delta %d: server %d is not a member of shard %d", i, d.Server, s.id)
+			}
+		case online.KindAddObject:
+			if assign == 0 {
+				s.mu.Unlock()
+				return online.Applied{}, fmt.Errorf("cluster: delta %d: object ids are allocated by the coordinator; add-object goes through it", i)
+			}
+			if d.Primary < 0 || d.Primary >= len(memberOf) || !memberOf[d.Primary] {
+				s.mu.Unlock()
+				return online.Applied{}, fmt.Errorf("cluster: delta %d: add-object primary %d is not a member of shard %d", i, d.Primary, s.id)
 			}
 		}
 	}
-	a, err := ctrl.ApplyDeltas(ds)
+	local, commit, terr := region.TranslateDeltas(ds)
+	s.mu.Unlock()
+	if terr != nil {
+		return online.Applied{}, terr
+	}
+	a, err := ctrl.ApplyDeltas(local)
+	if err == nil {
+		s.mu.Lock()
+		if s.region == region {
+			commit()
+		}
+		s.mu.Unlock()
+	}
 	if err == nil && a.SolveScheduled && mode == hierarchy.Autonomous {
 		// Degraded: nobody will call solve for us. Kick the self-solve
 		// worker, like the single daemon's drift loop.
@@ -277,22 +320,28 @@ func (s *Shard) handleDeltas(ctx context.Context, req *DeltasRequest) (any, erro
 	return &a, nil
 }
 
-// SolveNow runs the regional game synchronously and reports it.
+// SolveNow runs the regional game synchronously and reports it. Payments
+// come back in region coordinates together with the assignment generation
+// they are valid under; ElapsedNs isolates the solve itself from RPC time.
 func (s *Shard) SolveNow(ctx context.Context) (*SolveReply, error) {
-	ctrl := s.controller()
+	s.mu.Lock()
+	ctrl, ver := s.ctrl, s.assignVer
+	s.mu.Unlock()
 	if ctrl == nil {
 		return nil, ErrUnassigned
 	}
+	start := time.Now()
 	if err := ctrl.SolveNow(ctx); err != nil {
 		return nil, err
 	}
+	elapsed := time.Since(start)
 	s.mu.Lock()
 	s.selfSolves++
 	s.mu.Unlock()
 	m := ctrl.Metrics()
 	return &SolveReply{
-		Version: m.Version, OTC: m.OTC, BaseOTC: m.BaseOTC, Savings: m.Savings,
-		Work: m.SolverWork, Payments: ctrl.LastSolvePayments(),
+		Assign: ver, Version: m.Version, OTC: m.OTC, BaseOTC: m.BaseOTC, Savings: m.Savings,
+		Work: m.SolverWork, ElapsedNs: elapsed.Nanoseconds(), Payments: ctrl.LastSolvePayments(),
 	}, nil
 }
 
@@ -317,29 +366,81 @@ func (s *Shard) handlePlacement(ctx context.Context, req *PlacementRequest) (any
 		BaseOTC:  e.Schema.BaseCost(),
 		Savings:  e.Schema.Savings(),
 		SavedOTC: e.Schema.BaseCost() - e.Schema.TotalCost(),
+		Border:   borderAds(e.Schema),
 	}, nil
+}
+
+// borderAds advertises every surplus replica the regional game placed with
+// its reserve price: the regional OTC increase its removal would cause.
+// The merge's boundary exchange re-judges each ad against the merged global
+// placement — a replica whose demand is served cheaper by another region's
+// copy prices below zero there and is dropped.
+func borderAds(sch *replication.Schema) []BorderAd {
+	p := sch.Problem()
+	var ads []BorderAd
+	for k := int32(0); int(k) < p.N; k++ {
+		primary := p.Work.Primary[k]
+		for _, m := range sch.Replicas(k) {
+			if m == primary {
+				continue
+			}
+			ads = append(ads, BorderAd{Object: k, Server: m, Gain: sch.DeltaIfRemoved(k, int(m))})
+		}
+	}
+	return ads
 }
 
 func (s *Shard) handleMetrics(ctx context.Context, req *MetricsRequest) (any, error) {
 	s.mu.Lock()
-	ctrl, members, ver, mode := s.ctrl, s.members, s.assignVer, s.mode
+	ctrl, region, members, ver, mode := s.ctrl, s.region, s.members, s.assignVer, s.mode
+	var regionServers, regionObjects int
+	if region != nil {
+		regionServers, regionObjects = len(region.Servers), len(region.Objects)
+	}
 	s.mu.Unlock()
 	if ctrl == nil {
 		return nil, ErrUnassigned
 	}
 	return &MetricsReply{
 		Shard: s.id, Assign: ver, Mode: mode.String(),
-		Members: append([]int32(nil), members...),
+		Members:       append([]int32(nil), members...),
+		RegionServers: regionServers, RegionObjects: regionObjects,
 		Metrics: ctrl.Metrics(),
 	}, nil
 }
 
-func (s *Shard) handleRoute(ctx context.Context, req *RouteRequest) (any, error) {
-	ctrl := s.controller()
+// routeGlobal answers a nearest-replica query in global coordinates: the
+// query is translated into the region, the regional placement answers, and
+// the answer is translated back.
+func (s *Shard) routeGlobal(server int, object int32) (int32, error) {
+	s.mu.Lock()
+	ctrl, region := s.ctrl, s.region
 	if ctrl == nil {
-		return nil, ErrUnassigned
+		s.mu.Unlock()
+		return 0, ErrUnassigned
 	}
-	from, err := ctrl.Route(req.Server, req.Object)
+	ls, okS := region.LocalServer(server)
+	lk, okK := region.LocalObject(object)
+	s.mu.Unlock()
+	if !okS {
+		return 0, fmt.Errorf("cluster: server %d is not in shard %d's region", server, s.id)
+	}
+	if !okK {
+		return 0, fmt.Errorf("cluster: object %d is not in shard %d's region", object, s.id)
+	}
+	from, err := ctrl.Route(ls, lk)
+	if err != nil {
+		return 0, err
+	}
+	g, ok := region.GlobalServer(int(from))
+	if !ok {
+		return 0, fmt.Errorf("cluster: route answer %d is outside shard %d's region", from, s.id)
+	}
+	return int32(g), nil
+}
+
+func (s *Shard) handleRoute(ctx context.Context, req *RouteRequest) (any, error) {
+	from, err := s.routeGlobal(req.Server, req.Object)
 	if err != nil {
 		return nil, err
 	}

@@ -33,16 +33,21 @@ type PingReply struct {
 	Version uint64 `json:"version"`
 }
 
-// AssignRequest ships a region to a shard: the masked state snapshot, the
-// member set, and the current global placement to carry over (so a freshly
-// assigned shard starts from the merged placement instead of primaries).
+// AssignRequest ships a region to a shard: the compacted M'×N' sub-instance
+// with its index mapping (member servers, the objects they own or demand,
+// boundary primaries), the member set in global ids, and the current global
+// placement — already translated into region coordinates — to carry over (so
+// a freshly assigned shard starts from the merged placement instead of
+// primaries).
 type AssignRequest struct {
 	// Version is the coordinator's assignment generation; a shard rejects
 	// versions at or below the one it already runs (stale re-sends).
 	Version uint64                `json:"version"`
 	Members []int32               `json:"members"`
-	State   *online.StateSnapshot `json:"state"`
-	Carry   [][]int32             `json:"carry,omitempty"`
+	Region  *online.CompactRegion `json:"region"`
+	// Carry is in region-local coordinates (rows per regional object,
+	// replica lists of regional server indexes).
+	Carry [][]int32 `json:"carry,omitempty"`
 }
 
 // AssignReply acknowledges an installed assignment.
@@ -65,21 +70,42 @@ type DeltasRequest struct {
 // SolveRequest asks a shard to run its regional game now.
 type SolveRequest struct{}
 
-// SolveReply reports the regional solve.
+// SolveReply reports the regional solve. Payments are indexed by regional
+// server — the coordinator translates them through the assignment's mapping.
 type SolveReply struct {
-	Version  uint64  `json:"version"`
-	OTC      int64   `json:"otc"`
-	BaseOTC  int64   `json:"base_otc"`
-	Savings  float64 `json:"savings_percent"`
-	Work     int64   `json:"work"`
-	Payments []int64 `json:"payments,omitempty"`
+	// Assign is the assignment generation the solve ran under; the
+	// coordinator discards replies from a different generation (their
+	// payment indexes would be meaningless against its mapping).
+	Assign  uint64  `json:"assign"`
+	Version uint64  `json:"version"`
+	OTC     int64   `json:"otc"`
+	BaseOTC int64   `json:"base_otc"`
+	Savings float64 `json:"savings_percent"`
+	Work    int64   `json:"work"`
+	// ElapsedNs is the wall-clock the regional solve took shard-side — the
+	// per-phase benchmark's regional-solve component, free of RPC overhead.
+	ElapsedNs int64   `json:"elapsed_ns"`
+	Payments  []int64 `json:"payments,omitempty"`
 }
 
 // PlacementRequest pulls a shard's regional placement for the merge.
 type PlacementRequest struct{}
 
-// PlacementReply carries the regional placement and the region's delegate
-// bid for the top-level game.
+// BorderAd advertises one surplus replica a region placed, with the
+// region's reserve price for it: Gain is the regional cost increase if the
+// replica were removed (its local marginal value). Coordinates are
+// region-local; the coordinator translates through the assignment's mapping.
+// The merge's boundary-replica exchange uses the ads to decide which
+// replicas are redundant once every region's placement is visible — the
+// cross-region savings the mask-era merge forfeited.
+type BorderAd struct {
+	Object int32 `json:"object"`
+	Server int32 `json:"server"`
+	Gain   int64 `json:"gain"`
+}
+
+// PlacementReply carries the regional placement — in region-local
+// coordinates — and the region's delegate bid for the top-level game.
 type PlacementReply struct {
 	Assign  uint64    `json:"assign"`
 	Version uint64    `json:"version"`
@@ -91,6 +117,9 @@ type PlacementReply struct {
 	// SavedOTC = BaseOTC - OTC: the transfer cost the regional game saved,
 	// which is the region delegate's sealed bid in the top-level game.
 	SavedOTC int64 `json:"saved_otc"`
+	// Border lists the region's surplus replicas with reserve prices for
+	// the merge's boundary exchange.
+	Border []BorderAd `json:"border,omitempty"`
 }
 
 // MetricsRequest pulls a shard's controller metrics for aggregation.
@@ -98,11 +127,15 @@ type MetricsRequest struct{}
 
 // MetricsReply is one shard's contribution to GET /cluster.
 type MetricsReply struct {
-	Shard   int            `json:"shard"`
-	Assign  uint64         `json:"assign"`
-	Mode    string         `json:"mode"`
-	Members []int32        `json:"members"`
-	Metrics online.Metrics `json:"metrics"`
+	Shard   int     `json:"shard"`
+	Assign  uint64  `json:"assign"`
+	Mode    string  `json:"mode"`
+	Members []int32 `json:"members"`
+	// RegionServers and RegionObjects are the compacted instance's M'×N' —
+	// the shape the regional game actually solves.
+	RegionServers int            `json:"region_servers"`
+	RegionObjects int            `json:"region_objects"`
+	Metrics       online.Metrics `json:"metrics"`
 }
 
 // RouteRequest asks a shard for a nearest-replica answer from its regional

@@ -99,9 +99,85 @@ func Partition(p *replication.Problem, k int) [][]int32 {
 	if k > p.M {
 		k = p.M
 	}
+	seeds := farthestSeeds(p, k)
+	regions := make([][]int32, k)
+	for i := 0; i < p.M; i++ {
+		best, bestD := 0, int64(p.Cost.At(i, seeds[0]))
+		for r := 1; r < k; r++ {
+			if d := int64(p.Cost.At(i, seeds[r])); d < bestD {
+				best, bestD = r, d
+			}
+		}
+		regions[best] = append(regions[best], int32(i))
+	}
+	return regions
+}
+
+// PartitionBalanced splits the servers into k regions of near-equal size
+// (at most ceil(M/k) members each). Seeding is the same farthest-point
+// traversal as Partition; assignment is by proximity under the capacity
+// cap, processing servers in decreasing order of how much the choice
+// matters to them (the cost gap between their nearest and second-nearest
+// seed), so the servers squeezed out of a full region are the ones that
+// care least. Deterministic for a given cost matrix.
+//
+// On cost metrics with a dense core, nearest-seed assignment piles most of
+// the servers onto the core seed (the other seeds are peripheral
+// outliers); the cluster coordinator partitions with the balanced variant
+// so a regional sub-instance never grows into the whole globe — the point
+// of compaction is that a regional solve costs the region's share, and
+// that only holds when the partition does its part.
+func PartitionBalanced(p *replication.Problem, k int) [][]int32 {
+	if k < 1 {
+		k = 1
+	}
+	if k > p.M {
+		k = p.M
+	}
+	seeds := farthestSeeds(p, k)
+	dist := make([]int64, p.M*k)
+	order := make([]int32, p.M)
+	gap := make([]int64, p.M)
+	for i := 0; i < p.M; i++ {
+		best, second := int64(1)<<62, int64(1)<<62
+		for r, s := range seeds {
+			d := int64(p.Cost.At(i, s))
+			dist[i*k+r] = d
+			if d < best {
+				best, second = d, best
+			} else if d < second {
+				second = d
+			}
+		}
+		order[i] = int32(i)
+		gap[i] = second - best
+	}
+	sort.SliceStable(order, func(a, b int) bool { return gap[order[a]] > gap[order[b]] })
+	cap_ := (p.M + k - 1) / k
+	regions := make([][]int32, k)
+	for _, srv := range order {
+		best, bestD := -1, int64(1)<<62
+		for r := 0; r < k; r++ {
+			if len(regions[r]) >= cap_ {
+				continue
+			}
+			if d := dist[int(srv)*k+r]; d < bestD {
+				best, bestD = r, d
+			}
+		}
+		regions[best] = append(regions[best], srv)
+	}
+	for _, members := range regions {
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+	}
+	return regions
+}
+
+// farthestSeeds picks k seed servers by greedy farthest-point traversal
+// from server 0, returned sorted.
+func farthestSeeds(p *replication.Problem, k int) []int {
 	seeds := make([]int, 0, k)
 	seeds = append(seeds, 0)
-	// Farthest-point traversal.
 	minDist := make([]int64, p.M)
 	for i := range minDist {
 		minDist[i] = int64(p.Cost.At(i, 0))
@@ -121,17 +197,7 @@ func Partition(p *replication.Problem, k int) [][]int32 {
 		}
 	}
 	sort.Ints(seeds)
-	regions := make([][]int32, k)
-	for i := 0; i < p.M; i++ {
-		best, bestD := 0, int64(p.Cost.At(i, seeds[0]))
-		for r := 1; r < k; r++ {
-			if d := int64(p.Cost.At(i, seeds[r])); d < bestD {
-				best, bestD = r, d
-			}
-		}
-		regions[best] = append(regions[best], int32(i))
-	}
-	return regions
+	return seeds
 }
 
 // Solve runs the regional mechanism to completion. ctx is checked at the

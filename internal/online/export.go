@@ -180,6 +180,30 @@ func (c *Controller) InstallPlacement(matrix [][]int32) int {
 	return dropped
 }
 
+// InstallSchema publishes an externally carried schema as a merge epoch
+// without re-carrying it: the cluster merge already built the carried
+// schema (CarryOver plus the boundary exchange's refinements) against the
+// mirror's problem, and carrying its matrix a second time would repeat the
+// placement work just to reproduce the same schema. The schema must have
+// been built against the controller's current Problem — the caller
+// serializes installs with delta application; if the problem moved anyway,
+// the matrix is re-carried as InstallPlacement would. dropped is the
+// carry's drop count, folded into the controller's accounting.
+func (c *Controller) InstallSchema(sch *replication.Schema, dropped int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.epoch.Load()
+	if sch.Problem() != cur.Problem {
+		carried, d := cur.Problem.CarryOver(sch.Matrix())
+		sch, dropped = carried, dropped+d
+	}
+	c.publishLocked(cur, &Epoch{Problem: cur.Problem, Schema: sch, Version: cur.Version + 1, Cause: CauseMerge})
+	c.carriedDrops += int64(dropped)
+	c.solvedSavings = sch.Savings()
+	c.drift = 0
+	return dropped
+}
+
 // RouteDeltas splits a batch for per-region forwarding. Demand deltas go to
 // the owning server's region; catalogue deltas (add/remove object) are
 // global — every region's instance must agree on the object shape — and are

@@ -1,0 +1,94 @@
+package replication
+
+// Sub-instance cost views: a compacted regional instance indexes its servers
+// 0..M'-1, but the cost oracle both cluster sides share is built over the
+// global server ids. SubsetCost bridges the two — a CostFn over the region's
+// dense index space that answers from the global oracle through the region's
+// server mapping, so shard-side schemas, arenas and kernel rounds are sized
+// to the region while distances stay exact.
+
+// maxSubsetGather bounds the eager dense gather: up to this many cells the
+// subset is materialized into region-local rows (giving the kernel its
+// RowCostFn fast path); past it the subset stays a virtual view that maps
+// every At through the id table. 2048² cells is 16 MiB of int32 — cheap next
+// to the regional solve it feeds, and gathered once per assignment, not per
+// round.
+const maxSubsetGather = 2048 * 2048
+
+// SubsetCost restricts a cost oracle to the servers in ids (region index i
+// answers for global server ids[i]). Three shapes, picked by inspection:
+//
+//   - ids is the identity prefix 0..len(ids)-1: the base oracle is returned
+//     unchanged. This is the 1-shard cluster's path and the reason a full
+//     region stays bit-identical to the single daemon — no wrapper, no
+//     indirection, the very same oracle object.
+//   - small regions: the sub-matrix is gathered eagerly into dense local
+//     rows. Row is only exposed when the base oracle itself declares the
+//     symmetric row contract.
+//   - large regions: a virtual view mapping At calls through ids.
+//
+// ids entries must be valid rows of base; callers ship the mapping and the
+// oracle from the same assignment, so this is a construction invariant, not
+// a runtime check.
+func SubsetCost(base CostFn, ids []int32) CostFn {
+	identity := true
+	for i, g := range ids {
+		if int(g) != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return base
+	}
+	n := len(ids)
+	if n*n <= maxSubsetGather {
+		rows := make([][]int32, n)
+		flat := make([]int32, n*n)
+		if rc, ok := base.(RowCostFn); ok {
+			for i, g := range ids {
+				row := rc.Row(int(g))
+				dst := flat[i*n : (i+1)*n]
+				for j, h := range ids {
+					dst[j] = row[h]
+				}
+				rows[i] = dst
+			}
+			return &denseSubsetRows{denseSubset{rows: rows}}
+		}
+		for i, g := range ids {
+			dst := flat[i*n : (i+1)*n]
+			for j, h := range ids {
+				dst[j] = base.At(int(g), int(h))
+			}
+			rows[i] = dst
+		}
+		return &denseSubset{rows: rows}
+	}
+	return &mappedSubset{base: base, ids: append([]int32(nil), ids...)}
+}
+
+// denseSubset is the eagerly gathered sub-matrix.
+type denseSubset struct {
+	rows [][]int32
+}
+
+func (d *denseSubset) At(i, j int) int32 { return d.rows[i][j] }
+func (d *denseSubset) N() int            { return len(d.rows) }
+
+// denseSubsetRows additionally exposes the RowCostFn fast path; only built
+// when the base oracle declared symmetry by implementing Row itself.
+type denseSubsetRows struct {
+	denseSubset
+}
+
+func (d *denseSubsetRows) Row(i int) []int32 { return d.rows[i] }
+
+// mappedSubset is the virtual view for regions too large to gather.
+type mappedSubset struct {
+	base CostFn
+	ids  []int32
+}
+
+func (m *mappedSubset) At(i, j int) int32 { return m.base.At(int(m.ids[i]), int(m.ids[j])) }
+func (m *mappedSubset) N() int            { return len(m.ids) }
